@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 9: speedup of CNV over the DaDianNao baseline, with only
+ * zero-valued neurons skipped (CNV) and with the lossless dynamic
+ * pruning thresholds of Table II also applied (CNV + Pruning).
+ */
+
+#include "common.h"
+#include "pruning/explore.h"
+
+using namespace cnv;
+
+namespace {
+
+/**
+ * Per-network Figure 9 bars. The text states only google (1.24,
+ * minimum), cnnS (1.55, maximum) and the 1.37 average; the other
+ * bars are read off the figure approximately.
+ */
+double
+paperCnv(nn::zoo::NetId id)
+{
+    switch (id) {
+      case nn::zoo::NetId::Alex: return 1.35;
+      case nn::zoo::NetId::Google: return 1.24;
+      case nn::zoo::NetId::Nin: return 1.28;
+      case nn::zoo::NetId::Vgg19: return 1.40;
+      case nn::zoo::NetId::CnnM: return 1.40;
+      case nn::zoo::NetId::CnnS: return 1.55;
+    }
+    return 1.37;
+}
+
+double
+paperCnvPruned(nn::zoo::NetId id)
+{
+    // Table II's "Speedup" column.
+    switch (id) {
+      case nn::zoo::NetId::Alex: return 1.53;
+      case nn::zoo::NetId::Google: return 1.37;
+      case nn::zoo::NetId::Nin: return 1.39;
+      case nn::zoo::NetId::Vgg19: return 1.57;
+      case nn::zoo::NetId::CnnM: return 1.56;
+      case nn::zoo::NetId::CnnS: return 1.75;
+    }
+    return 1.52;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseArgs(argc, argv, 2);
+
+    driver::ExperimentConfig cfg;
+    cfg.images = opts.images;
+    cfg.seed = opts.seed;
+    bench::printConfig(cfg.node);
+
+    pruning::SearchOptions search;
+    search.accuracyImages = opts.quick ? 4 : 10;
+    search.timingImages = 1;
+    search.seed = opts.seed + 7;
+
+    sim::Table t({"network", "CNV", "paper CNV (approx)", "CNV+Pruning",
+                  "paper CNV+Pruning"});
+    double sumPlain = 0.0, sumPruned = 0.0;
+    for (auto id : nn::zoo::allNetworks()) {
+        const auto net = nn::zoo::build(id, cfg.seed);
+        const auto plain = driver::evaluateNetwork(cfg, *net);
+
+        double pruned = plain.speedup();
+        if (!opts.quick) {
+            auto accNet = nn::zoo::build(id, cfg.seed, cfg.accuracyScale);
+            accNet->calibrate();
+            const auto point =
+                pruning::searchLossless(cfg.node, *net, *accNet, search);
+            const auto prunedReport =
+                driver::evaluateNetwork(cfg, *net, &point.config);
+            pruned = prunedReport.speedup();
+        }
+
+        sumPlain += plain.speedup();
+        sumPruned += pruned;
+        t.addRow({nn::zoo::netName(id),
+                  sim::Table::num(plain.speedup()),
+                  sim::Table::num(paperCnv(id)),
+                  opts.quick ? "(skipped)" : sim::Table::num(pruned),
+                  sim::Table::num(paperCnvPruned(id))});
+    }
+    t.addRow({"average", sim::Table::num(sumPlain / 6), "1.37",
+              opts.quick ? "(skipped)" : sim::Table::num(sumPruned / 6),
+              "1.52"});
+    bench::emit(opts, "Figure 9: speedup of CNV over the baseline", t);
+    return 0;
+}

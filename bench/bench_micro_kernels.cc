@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * ZFNAf encode/decode, non-zero count maps, the closed-form conv
+ * timing models, and trace synthesis. These guard the throughput
+ * that makes the paper-scale experiments (full 224x224 geometries,
+ * batches of images, threshold sweeps) tractable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nn/trace.h"
+#include "nn/zoo/zoo.h"
+#include "sim/rng.h"
+#include "timing/conv_model.h"
+#include "timing/network_model.h"
+#include "zfnaf/format.h"
+
+using namespace cnv;
+
+namespace {
+
+tensor::NeuronTensor
+sparseTensor(int x, int y, int z, double zf)
+{
+    tensor::NeuronTensor t(x, y, z);
+    sim::Rng rng(42);
+    for (tensor::Fixed16 &v : t)
+        v = rng.bernoulli(zf)
+            ? tensor::Fixed16{}
+            : tensor::Fixed16::fromRaw(
+                  static_cast<std::int16_t>(rng.uniformInt(1, 300)));
+    return t;
+}
+
+void
+BM_ZfnafEncode(benchmark::State &state)
+{
+    const auto t = sparseTensor(56, 56, 256, 0.44);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zfnaf::encode(t));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_ZfnafEncode);
+
+void
+BM_ZfnafDecode(benchmark::State &state)
+{
+    const auto enc = zfnaf::encode(sparseTensor(56, 56, 256, 0.44));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zfnaf::decode(enc));
+}
+BENCHMARK(BM_ZfnafDecode);
+
+void
+BM_NonZeroCountMap(benchmark::State &state)
+{
+    const auto t = sparseTensor(112, 112, 128, 0.44);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zfnaf::nonZeroCountMap(t));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_NonZeroCountMap);
+
+void
+BM_TraceSynthesis(benchmark::State &state)
+{
+    nn::SparsityModel model;
+    model.zeroFraction = 0.44;
+    sim::Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nn::synthesizeActivations({56, 56, 256}, model, rng));
+    }
+}
+BENCHMARK(BM_TraceSynthesis);
+
+void
+BM_ConvTimingBaseline(benchmark::State &state)
+{
+    const auto t = sparseTensor(56, 56, 256, 0.44);
+    const auto counts = zfnaf::nonZeroCountMap(t);
+    nn::ConvParams p;
+    p.filters = 256;
+    p.fx = p.fy = 3;
+    p.stride = 1;
+    p.pad = 1;
+    const dadiannao::NodeConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            timing::convBaseline(cfg, p, t.shape(), counts, false));
+    }
+}
+BENCHMARK(BM_ConvTimingBaseline);
+
+void
+BM_ConvTimingCnv(benchmark::State &state)
+{
+    const auto t = sparseTensor(56, 56, 256, 0.44);
+    const auto counts = zfnaf::nonZeroCountMap(t);
+    nn::ConvParams p;
+    p.filters = 256;
+    p.fx = p.fy = 3;
+    p.stride = 1;
+    p.pad = 1;
+    const dadiannao::NodeConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            timing::convCnv(cfg, p, t.shape(), counts));
+    }
+}
+BENCHMARK(BM_ConvTimingCnv);
+
+void
+BM_GoogleNetTimingEndToEnd(benchmark::State &state)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Google, 1);
+    const dadiannao::NodeConfig cfg;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        timing::RunOptions opts;
+        opts.imageSeed = seed++;
+        benchmark::DoNotOptimize(
+            timing::simulateNetwork(cfg, *net, timing::Arch::Cnv, opts));
+    }
+}
+BENCHMARK(BM_GoogleNetTimingEndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

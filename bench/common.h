@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction bench binaries: each
+ * binary regenerates one table or figure of the paper (see
+ * DESIGN.md's per-experiment index) and prints the same rows the
+ * paper reports, plus the paper's value for comparison.
+ *
+ * Options (all optional):
+ *   --images N   trace instances per network (default varies)
+ *   --seed S     root seed
+ *   --csv        emit CSV instead of an aligned table
+ *   --quick      minimal work (used for smoke runs)
+ */
+
+#ifndef CNV_BENCH_COMMON_H
+#define CNV_BENCH_COMMON_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "driver/driver.h"
+#include "sim/table.h"
+
+namespace cnv::bench {
+
+/** Parsed command-line options shared by all bench binaries. */
+struct Options
+{
+    int images = 2;
+    std::uint64_t seed = 2016;
+    bool csv = false;
+    bool quick = false;
+};
+
+inline Options
+parseArgs(int argc, char **argv, int defaultImages = 2)
+{
+    Options opts;
+    opts.images = defaultImages;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << '\n';
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--images") {
+            opts.images = std::stoi(next());
+        } else if (arg == "--seed") {
+            opts.seed = std::stoull(next());
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--help") {
+            std::cout << "options: --images N --seed S --csv --quick\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown option " << arg << '\n';
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Print the node configuration once, for reproducibility. */
+inline void
+printConfig(const dadiannao::NodeConfig &cfg)
+{
+    std::cout << "node: " << cfg.describe() << '\n';
+}
+
+/** Print a titled table in the selected format. */
+inline void
+emit(const Options &opts, const std::string &title, const sim::Table &table)
+{
+    std::cout << "\n=== " << title << " ===\n";
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout.flush();
+}
+
+} // namespace cnv::bench
+
+#endif // CNV_BENCH_COMMON_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Brick-to-lane assignment for CNV (Section IV-B2).
+ *
+ * ZOnly and XYZHash are static functions of array coordinates (the
+ * encoder can place each slice in its NM bank when it writes the
+ * previous layer's output). WindowEven — the default, matching the
+ * paper's "divides the window evenly into 16 slices" — additionally
+ * uses the brick's sequence position within the consuming window,
+ * which assumes bank-to-lane steering in the dispatcher (see
+ * DESIGN.md).
+ */
+
+#ifndef CNV_CORE_ASSIGNMENT_H
+#define CNV_CORE_ASSIGNMENT_H
+
+#include "dadiannao/config.h"
+
+namespace cnv::core {
+
+/**
+ * Neuron lane that processes one brick of a window.
+ *
+ * @param policy Assignment policy.
+ * @param x Array x coordinate of the brick's column.
+ * @param y Array y coordinate of the brick's column.
+ * @param zBrick Depth-brick index within the array.
+ * @param windowSeq Sequence number of the brick within the window's
+ *        processing order (valid cells in (ky, kx) order, bricks
+ *        innermost); used only by WindowEven.
+ * @param lanes Neuron lanes per unit.
+ */
+inline int
+laneOf(dadiannao::LaneAssignment policy, int x, int y, int zBrick,
+       int windowSeq, int lanes)
+{
+    switch (policy) {
+      case dadiannao::LaneAssignment::ZOnly:
+        return zBrick % lanes;
+      case dadiannao::LaneAssignment::XYZHash:
+        return (zBrick + x + y) % lanes;
+      case dadiannao::LaneAssignment::WindowEven:
+        return windowSeq % lanes;
+    }
+    return zBrick % lanes;
+}
+
+} // namespace cnv::core
+
+#endif // CNV_CORE_ASSIGNMENT_H

@@ -1,0 +1,109 @@
+#include "core/dispatcher.h"
+
+#include "sim/logging.h"
+
+namespace cnv::core {
+
+Dispatcher::Dispatcher(const DispatcherConfig &cfg,
+                       std::vector<std::deque<BrickData>> laneBricks)
+    : sim::Clocked("dispatcher"),
+      cfg_(cfg),
+      pendingBricks_(std::move(laneBricks))
+{
+    CNV_ASSERT(static_cast<int>(pendingBricks_.size()) == cfg_.lanes,
+               "need one brick queue per lane/bank");
+    CNV_ASSERT(cfg_.bbDepth >= 1, "BB must hold at least one brick");
+    CNV_ASSERT(cfg_.nmLatencyCycles >= 1, "NM latency must be >= 1");
+    bb_.resize(cfg_.lanes);
+    cursor_.assign(cfg_.lanes, 0);
+    inflight_.resize(cfg_.lanes);
+    out_.resize(cfg_.lanes);
+    stalls_.assign(cfg_.lanes, 0);
+    brickSeq_.assign(cfg_.lanes, 0);
+}
+
+const std::vector<DispatchedNeuron> &
+Dispatcher::broadcasts(int lane) const
+{
+    return out_.at(lane);
+}
+
+void
+Dispatcher::evaluate(sim::Cycle cycle)
+{
+    for (int lane = 0; lane < cfg_.lanes; ++lane) {
+        // 1. Deliver fetches that completed by now (banks are
+        //    sub-banked/pipelined: one new brick per cycle each).
+        while (!inflight_[lane].empty() &&
+               inflight_[lane].front() <= cycle) {
+            inflight_[lane].pop_front();
+            CNV_ASSERT(!pendingBricks_[lane].empty(),
+                       "fetch completion without a pending brick");
+            bb_[lane].push_back(std::move(pendingBricks_[lane].front()));
+            pendingBricks_[lane].pop_front();
+        }
+
+        // 2. Broadcast one (value, offset) pair from the BB entry.
+        bool didWork = false;
+        while (!bb_[lane].empty()) {
+            BrickData &brick = bb_[lane].front();
+            if (brick.empty()) {
+                // All-zero brick: occupies the lane for one cycle
+                // (bank-limited) unless idealised away.
+                bb_[lane].pop_front();
+                cursor_[lane] = 0;
+                ++brickSeq_[lane];
+                if (cfg_.emptyBrickCostsCycle) {
+                    didWork = true; // the cycle is consumed
+                    break;
+                }
+                continue; // free skip: look at the next brick
+            }
+            out_[lane].push_back({brick[cursor_[lane]].value,
+                                  brick[cursor_[lane]].offset,
+                                  brickSeq_[lane]});
+            if (++cursor_[lane] == brick.size()) {
+                bb_[lane].pop_front();
+                cursor_[lane] = 0;
+                ++brickSeq_[lane];
+            }
+            didWork = true;
+            break;
+        }
+
+        const bool laneHasWork = !bb_[lane].empty() ||
+                                 !inflight_[lane].empty() ||
+                                 !pendingBricks_[lane].empty();
+        if (!didWork && laneHasWork)
+            ++stalls_[lane];
+
+        // 3. Prefetch as early as the BB allows: the fetch pointer
+        //    per bank runs ahead of the drain (at most one new
+        //    request per bank per cycle).
+        const int occupied = static_cast<int>(bb_[lane].size()) +
+                             static_cast<int>(inflight_[lane].size());
+        if (occupied < cfg_.bbDepth &&
+            inflight_[lane].size() < pendingBricks_[lane].size()) {
+            inflight_[lane].push_back(cycle + cfg_.nmLatencyCycles);
+            ++nmReads_;
+        }
+    }
+}
+
+void
+Dispatcher::commit(sim::Cycle)
+{
+}
+
+bool
+Dispatcher::done() const
+{
+    for (int lane = 0; lane < cfg_.lanes; ++lane) {
+        if (!bb_[lane].empty() || !inflight_[lane].empty() ||
+            !pendingBricks_[lane].empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace cnv::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cycle-level model of the CNV Dispatcher (Section IV-B3).
+ *
+ * The NM's subarrays are grouped into 16 independent banks; the
+ * input-neuron slices are statically distributed one per bank. The
+ * dispatcher holds a 16-entry Brick Buffer (BB): entry i accepts
+ * 16-neuron-wide bricks from bank i and broadcasts one
+ * (value, offset) pair per cycle to neuron lane i of every unit.
+ * Because lanes drain at different rates, each bank keeps its own
+ * fetch pointer, and the next brick in processing order is
+ * prefetched as early as the BB slot allows, hiding NM latency. In
+ * the worst case (all-zero bricks) a bank must supply one brick per
+ * cycle — the banks are sub-banked to sustain exactly that.
+ *
+ * This component exists to validate the timing assumptions baked
+ * into the fast models (core/unit.cc and timing/conv_model.cc):
+ * with the default double-buffered BB the dispatcher reproduces
+ * their per-lane drain times exactly, and tests also show where
+ * extra NM latency would start to leak stalls.
+ */
+
+#ifndef CNV_CORE_DISPATCHER_H
+#define CNV_CORE_DISPATCHER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/engine.h"
+#include "zfnaf/format.h"
+
+namespace cnv::core {
+
+/** One (value, offset) pair broadcast to a neuron lane. */
+struct DispatchedNeuron
+{
+    tensor::Fixed16 value;
+    std::uint8_t offset = 0;
+    /** Sequence number of the source brick within the lane. */
+    std::uint32_t brickSeq = 0;
+};
+
+/** A brick in a lane's processing order (owned copies for the sim). */
+using BrickData = std::vector<zfnaf::EncodedNeuron>;
+
+/** Configuration of the dispatcher/NM-bank model. */
+struct DispatcherConfig
+{
+    int lanes = 16;
+    /** NM bank access latency in cycles. */
+    int nmLatencyCycles = 2;
+    /** Bricks a BB entry can hold (current + prefetched). */
+    int bbDepth = 2;
+    /** An all-zero brick occupies the lane for one cycle. */
+    bool emptyBrickCostsCycle = true;
+};
+
+/**
+ * The dispatcher plus its NM banks. Construct with each lane's
+ * brick sequence (the slice contents in processing order), then run
+ * under a sim::Engine; collects every broadcast pair per lane.
+ */
+class Dispatcher : public sim::Clocked
+{
+  public:
+    Dispatcher(const DispatcherConfig &cfg,
+               std::vector<std::deque<BrickData>> laneBricks);
+
+    void evaluate(sim::Cycle cycle) override;
+    void commit(sim::Cycle cycle) override;
+    bool done() const override;
+
+    /** Everything broadcast to a lane, in order. */
+    const std::vector<DispatchedNeuron> &broadcasts(int lane) const;
+
+    /** Cycles lane i spent idle while other lanes were busy. */
+    std::uint64_t stallCycles(int lane) const { return stalls_[lane]; }
+
+    /** 16-neuron-wide NM reads issued (one per brick fetch). */
+    std::uint64_t nmReads() const { return nmReads_; }
+
+  private:
+    DispatcherConfig cfg_;
+    /** Per-bank bricks not yet delivered, in processing order. */
+    std::vector<std::deque<BrickData>> pendingBricks_;
+    /** Per-lane BB contents (up to bbDepth bricks). */
+    std::vector<std::deque<BrickData>> bb_;
+    /** Read position within the current brick per lane. */
+    std::vector<std::size_t> cursor_;
+    /** Completion times of each bank's in-flight fetches. */
+    std::vector<std::deque<sim::Cycle>> inflight_;
+    std::vector<std::vector<DispatchedNeuron>> out_;
+    std::vector<std::uint64_t> stalls_;
+    std::vector<std::uint32_t> brickSeq_;
+    std::uint64_t nmReads_ = 0;
+};
+
+} // namespace cnv::core
+
+#endif // CNV_CORE_DISPATCHER_H

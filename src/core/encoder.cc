@@ -1,0 +1,57 @@
+#include "core/encoder.h"
+
+#include "sim/logging.h"
+
+namespace cnv::core {
+
+EncoderUnit::EncoderUnit(int brickSize)
+    : sim::Clocked("encoder"), brickSize_(brickSize)
+{
+    CNV_ASSERT(brickSize >= 1 && brickSize <= 256,
+               "encoder brick size out of range");
+    ib_.resize(brickSize_);
+    ob_.reserve(brickSize_);
+}
+
+bool
+EncoderUnit::offer(std::span<const tensor::Fixed16> group)
+{
+    if (busy())
+        return false;
+    CNV_ASSERT(group.size() <= static_cast<std::size_t>(brickSize_),
+               "group larger than a brick");
+    for (std::size_t i = 0; i < group.size(); ++i)
+        ib_[i] = group[i];
+    fill_ = static_cast<int>(group.size());
+    cursor_ = 0;
+    ob_.clear();
+    return true;
+}
+
+void
+EncoderUnit::evaluate(sim::Cycle)
+{
+    if (!busy())
+        return;
+    ++busyCycles_;
+    // One neuron per cycle: examine, bump the offset counter, and
+    // keep only non-zero values.
+    const tensor::Fixed16 v = ib_[cursor_];
+    if (!v.isZero())
+        ob_.push_back({v, static_cast<std::uint8_t>(cursor_)});
+    ++cursor_;
+}
+
+void
+EncoderUnit::commit(sim::Cycle)
+{
+    if (cursor_ == fill_ && fill_ > 0) {
+        // OB now holds the brick in ZFNAf; ship it to NM.
+        done_.push_back(ob_);
+        ob_.clear();
+        fill_ = 0;
+        cursor_ = 0;
+    }
+}
+
+} // namespace cnv::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Whole-network execution on the CNV node: every conv layer after
+ * the first runs in encoded (zero-skipping) mode on the ZFNAf its
+ * producer's encoder wrote; the first conv layer processes the raw
+ * image in conventional mode (Section IV-B4); non-conv layers match
+ * the baseline. Optionally applies the dynamic-pruning thresholds
+ * of Section V-E at each conv output's encoding step.
+ *
+ * With pruning disabled, outputs are bit-identical to the baseline
+ * node and the golden model — the paper's Caffe-validation step.
+ */
+
+#ifndef CNV_CORE_NODE_H
+#define CNV_CORE_NODE_H
+
+#include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
+#include "dadiannao/node.h"
+#include "nn/network.h"
+
+namespace cnv::core {
+
+/** Executes networks functionally on the CNV node model. */
+class CnvNodeModel
+{
+  public:
+    explicit CnvNodeModel(const dadiannao::NodeConfig &cfg) : cfg_(cfg) {}
+
+    const dadiannao::NodeConfig &config() const { return cfg_; }
+
+    /**
+     * Run the network on one input image.
+     *
+     * @param prune Optional per-conv-layer thresholds applied by the
+     *        encoder when each conv output is written to NM.
+     */
+    dadiannao::NodeRunResult run(const nn::Network &net,
+                                 const tensor::NeuronTensor &input,
+                                 const nn::PruneConfig *prune = nullptr) const;
+
+  private:
+    dadiannao::NodeConfig cfg_;
+};
+
+} // namespace cnv::core
+
+#endif // CNV_CORE_NODE_H

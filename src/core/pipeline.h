@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Structural cycle-level CNV pipeline: the complete unit array of
+ * Figure 5(b) assembled from Clocked components and driven by a
+ * sim::Engine, executing one convolutional layer on a ZFNAf input.
+ *
+ *   NM banks -> Dispatcher (BB, per-bank fetch pointers)
+ *            -> 16 subunit front-ends (offset-indexed SB access,
+ *               16 multipliers each)
+ *            -> 16 adder trees -> NBout -> Encoder -> NM
+ *
+ * Where core/unit.cc computes per-window lane times in a batch loop
+ * (fast, used by experiments), this pipeline steps every component
+ * cycle by cycle, including the dispatcher's prefetch machinery —
+ * it exists to show that the fast model's timing assumptions hold
+ * structurally: outputs are bit-identical, and cycle counts match
+ * up to the documented one-time NM fill per window group.
+ *
+ * Only the filters of one unit are modelled per subunit
+ * (the remaining 15 units are timing-identical replicas processing
+ * other filters in lock step with the back-end), and layers must
+ * fit one filter pass (filters <= parallelFilters) and one group —
+ * the pipeline is a validation vehicle, not the experiment path.
+ */
+
+#ifndef CNV_CORE_PIPELINE_H
+#define CNV_CORE_PIPELINE_H
+
+#include <vector>
+
+#include "core/dispatcher.h"
+#include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
+#include "nn/layer.h"
+#include "tensor/neuron_tensor.h"
+#include "zfnaf/format.h"
+
+namespace cnv::core {
+
+/** Result of a pipeline execution. */
+struct PipelineResult
+{
+    tensor::NeuronTensor output;
+    std::uint64_t cycles = 0;
+    /** 16-neuron-wide NM reads issued by the dispatcher. */
+    std::uint64_t nmReads = 0;
+    /** Cycles the encoder spent converting output bricks. */
+    std::uint64_t encoderBusyCycles = 0;
+};
+
+/**
+ * Execute one conv layer through the structural pipeline.
+ *
+ * @param cfg Node configuration (lane assignment, NBout depth,
+ *        empty-brick policy are honoured; groups and multi-pass
+ *        layers are rejected).
+ * @param dispatchCfg Dispatcher/NM parameters (latency, BB depth).
+ */
+PipelineResult runConvPipeline(const dadiannao::NodeConfig &cfg,
+                               const DispatcherConfig &dispatchCfg,
+                               const nn::ConvParams &p,
+                               const zfnaf::EncodedArray &in,
+                               const tensor::FilterBank &weights,
+                               const std::vector<tensor::Fixed16> &bias);
+
+} // namespace cnv::core
+
+#endif // CNV_CORE_PIPELINE_H

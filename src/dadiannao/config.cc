@@ -1,0 +1,58 @@
+#include "dadiannao/config.h"
+
+#include "sim/logging.h"
+
+namespace cnv::dadiannao {
+
+namespace {
+
+const char *
+assignmentName(LaneAssignment a)
+{
+    switch (a) {
+      case LaneAssignment::ZOnly: return "z-only";
+      case LaneAssignment::XYZHash: return "xyz-hash";
+      case LaneAssignment::WindowEven: return "window-even";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+NodeConfig::validate() const
+{
+    if (units < 1 || lanes < 1 || filtersPerUnit < 1)
+        CNV_FATAL("node needs at least one unit/lane/filter lane");
+    if (lanes > 64)
+        CNV_FATAL("lane count {} above the model limit of 64", lanes);
+    if (brickSize != lanes)
+        CNV_FATAL("CNV pairs one neuron lane with one brick slot: "
+                  "brickSize {} != lanes {}",
+                  brickSize, lanes);
+    if (nbinEntries < 1 || nboutEntries < filtersPerUnit)
+        CNV_FATAL("NBout must hold at least one window of partial sums");
+    if (nmBanks != lanes)
+        CNV_FATAL("the dispatcher pairs one NM bank per neuron lane: "
+                  "nmBanks {} != lanes {}",
+                  nmBanks, lanes);
+    if (offchipBytesPerCycle < 1)
+        CNV_FATAL("off-chip bandwidth must be positive");
+    if (clockGhz <= 0.0)
+        CNV_FATAL("clock must be positive");
+}
+
+std::string
+NodeConfig::describe() const
+{
+    return sim::strfmt(
+        "{} units x {} lanes x {} filters ({} parallel filters), "
+        "brick {}, NBout {} ({} windows), SB {}KB/unit, NM {}KB x {} "
+        "banks, {} GHz, {} B/cycle off-chip, {} assignment",
+        units, lanes, filtersPerUnit, parallelFilters(), brickSize,
+        nboutEntries, windowsInFlight(), sbBytesPerUnit >> 10,
+        nmBytes >> 10, nmBanks, clockGhz, offchipBytesPerCycle,
+        assignmentName(laneAssignment));
+}
+
+} // namespace cnv::dadiannao

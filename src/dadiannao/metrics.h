@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Result records shared by both accelerator models.
+ *
+ * Activity follows the paper's Figure 10 metric: one event per
+ * (unit, neuron lane, cycle), each assigned to exactly one category,
+ * so the event total units x lanes x cycles is directly proportional
+ * to execution time.
+ */
+
+#ifndef CNV_DADIANNAO_METRICS_H
+#define CNV_DADIANNAO_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnv::dadiannao {
+
+/** Per-lane-cycle activity categories (Figure 10). */
+struct Activity
+{
+    std::uint64_t other = 0;    ///< non-convolutional layers
+    std::uint64_t conv1 = 0;    ///< first convolutional layer
+    std::uint64_t zero = 0;     ///< processing a zero neuron
+    std::uint64_t nonZero = 0;  ///< processing a non-zero neuron
+    std::uint64_t stall = 0;    ///< idle waiting for window sync
+
+    std::uint64_t
+    total() const
+    {
+        return other + conv1 + zero + nonZero + stall;
+    }
+
+    Activity &
+    operator+=(const Activity &o)
+    {
+        other += o.other;
+        conv1 += o.conv1;
+        zero += o.zero;
+        nonZero += o.nonZero;
+        stall += o.stall;
+        return *this;
+    }
+};
+
+/** Hardware event counters feeding the energy model. */
+struct EnergyCounters
+{
+    /** 16-synapse SB sublane reads (suppressed when a subunit stalls). */
+    std::uint64_t sbReads = 0;
+    /** 16-neuron-wide NM reads (CNV reads carry offsets too). */
+    std::uint64_t nmReads = 0;
+    /** 16-neuron-wide NM writes (via NBout / encoder). */
+    std::uint64_t nmWrites = 0;
+    /** NBin entry reads (one neuron or one (neuron, offset) pair). */
+    std::uint64_t nbinReads = 0;
+    /** NBin entry writes. */
+    std::uint64_t nbinWrites = 0;
+    /** Multiplications actually performed. */
+    std::uint64_t multOps = 0;
+    /** Adder-tree reduction operations (per product). */
+    std::uint64_t addOps = 0;
+    /** Encoder neuron examinations (CNV only). */
+    std::uint64_t encoderOps = 0;
+    /** Bytes streamed from off-chip memory. */
+    std::uint64_t offchipBytes = 0;
+
+    EnergyCounters &
+    operator+=(const EnergyCounters &o)
+    {
+        sbReads += o.sbReads;
+        nmReads += o.nmReads;
+        nmWrites += o.nmWrites;
+        nbinReads += o.nbinReads;
+        nbinWrites += o.nbinWrites;
+        multOps += o.multOps;
+        addOps += o.addOps;
+        encoderOps += o.encoderOps;
+        offchipBytes += o.offchipBytes;
+        return *this;
+    }
+};
+
+/** Timing/activity result for one layer on one architecture. */
+struct LayerResult
+{
+    std::string name;
+    std::uint64_t cycles = 0;
+    Activity activity;
+    EnergyCounters energy;
+};
+
+/** Whole-network result. */
+struct NetworkResult
+{
+    std::string network;
+    std::string architecture;
+    std::vector<LayerResult> layers;
+
+    std::uint64_t
+    totalCycles() const
+    {
+        std::uint64_t total = 0;
+        for (const LayerResult &l : layers)
+            total += l.cycles;
+        return total;
+    }
+
+    Activity
+    totalActivity() const
+    {
+        Activity a;
+        for (const LayerResult &l : layers)
+            a += l.activity;
+        return a;
+    }
+
+    EnergyCounters
+    totalEnergy() const
+    {
+        EnergyCounters e;
+        for (const LayerResult &l : layers)
+            e += l.energy;
+        return e;
+    }
+};
+
+} // namespace cnv::dadiannao
+
+#endif // CNV_DADIANNAO_METRICS_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Timing of non-convolutional layers — identical on the baseline
+ * and CNV (CNV only accelerates convolutional layers; Section V-B's
+ * "other" activity category).
+ *
+ * Throughput model: the node's 256 lanes consume 256 input neurons
+ * per cycle for pooling / LRN / softmax; fully-connected layers run
+ * at the NFU rate of 16 inputs x 256 filters per cycle but are
+ * bounded by off-chip synapse streaming when their weights exceed
+ * the SB, with loading overlapped against preceding compute
+ * (Section IV-A). Concatenation is NM addressing only and costs no
+ * cycles.
+ */
+
+#ifndef CNV_DADIANNAO_OTHER_LAYERS_H
+#define CNV_DADIANNAO_OTHER_LAYERS_H
+
+#include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
+#include "nn/network.h"
+
+namespace cnv::dadiannao {
+
+/**
+ * Tracks compute cycles available to hide off-chip synapse loads:
+ * every executed layer deposits its cycles; each synapse load
+ * withdraws what it can and exposes the rest.
+ */
+class OverlapTracker
+{
+  public:
+    /** Record that `cycles` of compute elapsed (hiding capacity). */
+    void
+    deposit(std::uint64_t cycles)
+    {
+        available_ += cycles;
+    }
+
+    /** Cycles of a load that could not be hidden. */
+    std::uint64_t
+    expose(std::uint64_t loadCycles)
+    {
+        const std::uint64_t hidden = std::min(available_, loadCycles);
+        available_ -= hidden;
+        return loadCycles - hidden;
+    }
+
+  private:
+    std::uint64_t available_ = 0;
+};
+
+/**
+ * Timing/activity for a non-conv node. Valid for Pool, Lrn, Fc,
+ * Concat, and Softmax nodes; conv nodes are handled by the
+ * architecture models.
+ */
+LayerResult otherLayerTiming(const NodeConfig &cfg, const nn::Node &node,
+                             OverlapTracker &overlap);
+
+/** Exposed cycles for loading a conv layer's synapses into the SB. */
+std::uint64_t convSynapseLoadCycles(const NodeConfig &cfg,
+                                    const nn::Node &node,
+                                    OverlapTracker &overlap,
+                                    EnergyCounters &energy);
+
+} // namespace cnv::dadiannao
+
+#endif // CNV_DADIANNAO_OTHER_LAYERS_H

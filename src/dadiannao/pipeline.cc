@@ -1,0 +1,192 @@
+#include "dadiannao/pipeline.h"
+
+#include <array>
+#include <deque>
+
+#include "sim/engine.h"
+#include "sim/logging.h"
+
+namespace cnv::dadiannao {
+
+using tensor::Accum;
+using tensor::FilterBank;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+using tensor::Shape3;
+
+namespace {
+
+/** One 16-neuron fetch block plus its place in the computation. */
+struct FetchBlock
+{
+    std::array<Fixed16, 64> neurons{};
+    int valid = 0;   ///< neurons in the block (depth tail may be short)
+    int window = 0;  ///< row-major output window index
+    int kx = 0;
+    int ky = 0;
+    int zBase = 0;   ///< first neuron's feature coordinate
+    bool last = false;
+};
+
+/** Streams the layer's fetch blocks from NM, one per cycle. */
+class FetchUnit : public sim::Clocked
+{
+  public:
+    FetchUnit(std::deque<FetchBlock> schedule,
+              sim::Latch<FetchBlock> &out)
+        : sim::Clocked("fetch"), schedule_(std::move(schedule)), out_(out)
+    {
+    }
+
+    void
+    evaluate(sim::Cycle) override
+    {
+        if (schedule_.empty() || out_.stalled())
+            return;
+        out_.push(std::move(schedule_.front()));
+        schedule_.pop_front();
+        ++nmReads_;
+    }
+
+    void commit(sim::Cycle) override { out_.tick(); }
+    bool done() const override { return schedule_.empty(); }
+
+    std::uint64_t nmReads() const { return nmReads_; }
+
+  private:
+    std::deque<FetchBlock> schedule_;
+    sim::Latch<FetchBlock> &out_;
+    std::uint64_t nmReads_ = 0;
+};
+
+/** The lock-step unit array: 256 multipliers + 16 adder trees. */
+class UnitArray : public sim::Clocked
+{
+  public:
+    UnitArray(sim::Latch<FetchBlock> &in, const nn::ConvParams &p,
+              const FilterBank &weights,
+              std::vector<std::vector<Accum>> &acc)
+        : sim::Clocked("units"),
+          in_(in),
+          params_(p),
+          weights_(weights),
+          acc_(acc)
+    {
+    }
+
+    void
+    evaluate(sim::Cycle) override
+    {
+        if (!in_.valid())
+            return;
+        const FetchBlock block = in_.pop();
+        for (int lane = 0; lane < block.valid; ++lane) {
+            const Fixed16 n = block.neurons[lane];
+            if (n.isZero())
+                continue; // multiplies by zero add nothing
+            const int z = block.zBase + lane;
+            for (int f = 0; f < params_.filters; ++f) {
+                acc_[block.window][f] +=
+                    mulRaw(n, weights_.at(f, block.kx, block.ky, z));
+            }
+        }
+        finished_ = block.last;
+    }
+
+    void commit(sim::Cycle) override {}
+    bool done() const override { return finished_; }
+
+  private:
+    sim::Latch<FetchBlock> &in_;
+    const nn::ConvParams &params_;
+    const FilterBank &weights_;
+    std::vector<std::vector<Accum>> &acc_;
+    bool finished_ = false;
+};
+
+} // namespace
+
+BaselinePipelineResult
+runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
+                        const NeuronTensor &in, const FilterBank &weights,
+                        const std::vector<Fixed16> &bias)
+{
+    CNV_ASSERT(p.groups == 1, "pipeline models single-group layers");
+    CNV_ASSERT(p.filters <= cfg.parallelFilters(),
+               "pipeline models single-pass layers");
+    CNV_ASSERT(in.shape().z >= cfg.lanes,
+               "shallow (packed-row) inputs are out of pipeline scope");
+
+    const Shape3 inShape = in.shape();
+    const Shape3 outShape = p.outputShape(inShape);
+    const int lanes = cfg.lanes;
+    const int blocks = (inShape.z + lanes - 1) / lanes;
+    const std::int64_t windows =
+        static_cast<std::int64_t>(outShape.x) * outShape.y;
+
+    // Build the fetch schedule: windows in row-major order, valid
+    // cells in (ky, kx) order, depth blocks innermost.
+    std::deque<FetchBlock> schedule;
+    for (std::int64_t w = 0; w < windows; ++w) {
+        const int ox = static_cast<int>(w % outShape.x);
+        const int oy = static_cast<int>(w / outShape.x);
+        const int x0 = ox * p.stride - p.pad;
+        const int y0 = oy * p.stride - p.pad;
+        for (int ky = 0; ky < p.fy; ++ky) {
+            const int iy = y0 + ky;
+            if (iy < 0 || iy >= inShape.y)
+                continue;
+            for (int kx = 0; kx < p.fx; ++kx) {
+                const int ix = x0 + kx;
+                if (ix < 0 || ix >= inShape.x)
+                    continue;
+                for (int b = 0; b < blocks; ++b) {
+                    FetchBlock block;
+                    block.window = static_cast<int>(w);
+                    block.kx = kx;
+                    block.ky = ky;
+                    block.zBase = b * lanes;
+                    block.valid =
+                        std::min(lanes, inShape.z - block.zBase);
+                    for (int l = 0; l < block.valid; ++l)
+                        block.neurons[l] =
+                            in.at(ix, iy, block.zBase + l);
+                    schedule.push_back(std::move(block));
+                }
+            }
+        }
+    }
+    if (!schedule.empty())
+        schedule.back().last = true;
+
+    std::vector<std::vector<Accum>> acc(
+        static_cast<std::size_t>(windows),
+        std::vector<Accum>(static_cast<std::size_t>(p.filters)));
+
+    sim::Latch<FetchBlock> nbin;
+    FetchUnit fetch(std::move(schedule), nbin);
+    UnitArray units(nbin, p, weights, acc);
+
+    sim::Engine engine("baseline-pipeline");
+    engine.add(fetch);
+    engine.add(units);
+
+    BaselinePipelineResult result;
+    result.cycles = engine.run();
+    result.nmReads = fetch.nmReads();
+
+    result.output = NeuronTensor(outShape);
+    for (std::int64_t w = 0; w < windows; ++w) {
+        const int ox = static_cast<int>(w % outShape.x);
+        const int oy = static_cast<int>(w / outShape.x);
+        for (int f = 0; f < p.filters; ++f) {
+            Fixed16 v = Fixed16::productToFixed(acc[w][f]) + bias[f];
+            if (p.relu)
+                v = v.relu();
+            result.output.at(ox, oy, f) = v;
+        }
+    }
+    return result;
+}
+
+} // namespace cnv::dadiannao

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Structural cycle-level DaDianNao pipeline (Figure 5(a) / Section
+ * III-B): a fetch unit streams 16-neuron fetch blocks from NM
+ * through a registered NBin stage to the lock-step unit array,
+ * whose 256 multipliers and 16 adder trees accumulate partial
+ * output neurons in NBout.
+ *
+ * Counterpart of core/pipeline.*: it validates that the baseline
+ * batch model's cycle counts correspond to a real broadcast
+ * pipeline (one block per cycle, constant pipeline depth), and it
+ * makes the contrast with CNV concrete — here every lane advances
+ * with the block, zeros included.
+ *
+ * Packed-row (shallow-input) layers and multi-pass/grouped layers
+ * are out of scope; like the CNV pipeline this is a validation
+ * vehicle, not the experiment path.
+ */
+
+#ifndef CNV_DADIANNAO_PIPELINE_H
+#define CNV_DADIANNAO_PIPELINE_H
+
+#include <vector>
+
+#include "dadiannao/config.h"
+#include "nn/layer.h"
+#include "tensor/neuron_tensor.h"
+
+namespace cnv::dadiannao {
+
+/** Result of a baseline pipeline execution. */
+struct BaselinePipelineResult
+{
+    tensor::NeuronTensor output;
+    std::uint64_t cycles = 0;
+    std::uint64_t nmReads = 0;
+};
+
+/** Execute one conv layer through the structural baseline pipeline. */
+BaselinePipelineResult
+runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
+                        const tensor::NeuronTensor &in,
+                        const tensor::FilterBank &weights,
+                        const std::vector<tensor::Fixed16> &bias);
+
+} // namespace cnv::dadiannao
+
+#endif // CNV_DADIANNAO_PIPELINE_H

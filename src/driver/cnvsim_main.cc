@@ -1,0 +1,395 @@
+/**
+ * @file
+ * cnvsim — the command-line front end to the simulator.
+ *
+ *   cnvsim list                          network inventory
+ *   cnvsim run <net> [opts]              timing run on both archs
+ *   cnvsim power <net> [opts]            power / energy / EDP
+ *   cnvsim prune <net> [opts]            lossless threshold search
+ *   cnvsim validate <net> [opts]         functional equivalence check
+ *   cnvsim zfnaf <net> [opts]            per-layer ZFNAf statistics
+ *   cnvsim export-traces <net> [opts]    write per-layer traces to --out
+ *   cnvsim reproduce [opts]              headline paper-vs-measured table
+ *
+ * Common options:
+ *   --images N     trace instances (default 2)
+ *   --seed S       root seed (default 2016)
+ *   --scale K      reduced-scale geometry (validate/prune accuracy)
+ *   --stats        dump the full statistics tree (gem5-style)
+ *   --layers       per-layer cycle table (run)
+ *   --floor F      accuracy floor for prune (default 1.0)
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "dadiannao/node.h"
+#include "driver/driver.h"
+#include "driver/stats_report.h"
+#include "nn/trace.h"
+#include "tensor/serialize.h"
+#include "zfnaf/format.h"
+#include "nn/zoo/zoo.h"
+#include "pruning/explore.h"
+#include "sim/error.h"
+#include "sim/table.h"
+#include "timing/network_model.h"
+
+namespace {
+
+using namespace cnv;
+
+struct CliOptions
+{
+    int images = 2;
+    std::uint64_t seed = 2016;
+    int scale = 8;
+    bool stats = false;
+    bool layers = false;
+    double floor = 1.0;
+    std::string out = "traces";
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: cnvsim <command> [network] [options]\n"
+        "  commands: list | run | power | prune | validate | zfnaf |\n"
+        "            export-traces | reproduce\n"
+        "  networks: alex google nin vgg19 cnnM cnnS\n"
+        "  options : --images N --seed S --scale K --stats --layers\n"
+        "            --floor F\n";
+    std::exit(2);
+}
+
+CliOptions
+parseOptions(const std::vector<std::string> &args, std::size_t start)
+{
+    CliOptions opts;
+    for (std::size_t i = start; i < args.size(); ++i) {
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                usage();
+            return args[++i];
+        };
+        if (args[i] == "--images")
+            opts.images = std::stoi(next());
+        else if (args[i] == "--seed")
+            opts.seed = std::stoull(next());
+        else if (args[i] == "--scale")
+            opts.scale = std::stoi(next());
+        else if (args[i] == "--floor")
+            opts.floor = std::stod(next());
+        else if (args[i] == "--out")
+            opts.out = next();
+        else if (args[i] == "--stats")
+            opts.stats = true;
+        else if (args[i] == "--layers")
+            opts.layers = true;
+        else
+            usage();
+    }
+    return opts;
+}
+
+int
+cmdList()
+{
+    sim::Table t({"network", "conv layers", "conv GMACs",
+                  "zero-operand target", "input"});
+    for (auto id : nn::zoo::allNetworks()) {
+        const auto net = nn::zoo::build(id, 1);
+        const auto in = net->node(0).outShape;
+        t.addRow({nn::zoo::netName(id),
+                  std::to_string(net->convLayerCount()),
+                  sim::Table::num(net->totalConvMacs() / 1e9),
+                  sim::Table::pct(nn::zoo::zeroOperandTarget(id)),
+                  sim::strfmt("{}x{}x{}", in.x, in.y, in.z)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(nn::zoo::NetId id, const CliOptions &opts)
+{
+    driver::ExperimentConfig cfg;
+    cfg.images = opts.images;
+    cfg.seed = opts.seed;
+    const auto net = nn::zoo::build(id, cfg.seed);
+
+    if (opts.layers) {
+        timing::RunOptions ropts;
+        ropts.imageSeed = cfg.seed;
+        const auto base = timing::simulateNetwork(
+            cfg.node, *net, timing::Arch::Baseline, ropts);
+        const auto cnvRun = timing::simulateNetwork(
+            cfg.node, *net, timing::Arch::Cnv, ropts);
+        sim::Table t({"layer", "baseline cycles", "CNV cycles",
+                      "speedup"});
+        for (std::size_t i = 0; i < base.layers.size(); ++i) {
+            const auto &b = base.layers[i];
+            const auto &c = cnvRun.layers[i];
+            if (b.cycles == 0 && c.cycles == 0)
+                continue;
+            t.addRow({b.name, sim::Table::intNum(b.cycles),
+                      sim::Table::intNum(c.cycles),
+                      c.cycles
+                          ? sim::Table::num(static_cast<double>(b.cycles) /
+                                            c.cycles)
+                          : "-"});
+        }
+        t.print(std::cout);
+    }
+
+    const auto report = driver::evaluateNetwork(cfg, *net);
+    std::cout << "\n" << net->name() << " over " << cfg.images
+              << " image(s):\n"
+              << "  baseline cycles : "
+              << sim::Table::intNum(report.baselineCycles) << "\n"
+              << "  CNV cycles      : "
+              << sim::Table::intNum(report.cnvCycles) << "\n"
+              << "  speedup         : "
+              << sim::Table::num(report.speedup()) << "x\n";
+
+    if (opts.stats) {
+        timing::RunOptions ropts;
+        ropts.imageSeed = cfg.seed;
+        const auto b = timing::simulateNetwork(
+            cfg.node, *net, timing::Arch::Baseline, ropts);
+        const auto c = timing::simulateNetwork(cfg.node, *net,
+                                               timing::Arch::Cnv, ropts);
+        driver::buildStats(b, power::Arch::Baseline)->dump(std::cout);
+        driver::buildStats(c, power::Arch::Cnv)->dump(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdPower(nn::zoo::NetId id, const CliOptions &opts)
+{
+    driver::ExperimentConfig cfg;
+    cfg.images = opts.images;
+    cfg.seed = opts.seed;
+    const auto report = driver::evaluateZooNetwork(cfg, id);
+
+    sim::Table t({"metric", "baseline", "CNV", "ratio"});
+    const auto pb = power::powerOf(power::Arch::Baseline,
+                                   report.baselineEnergy,
+                                   report.baselineCycles);
+    const auto pc = power::powerOf(power::Arch::Cnv, report.cnvEnergy,
+                                   report.cnvCycles);
+    const auto mb = power::metricsOf(power::Arch::Baseline,
+                                     report.baselineEnergy,
+                                     report.baselineCycles);
+    const auto mc = power::metricsOf(power::Arch::Cnv, report.cnvEnergy,
+                                     report.cnvCycles);
+    auto row = [&](const char *name, double b, double c) {
+        t.addRow({name, sim::Table::num(b, 4), sim::Table::num(c, 4),
+                  sim::Table::num(b / c, 3)});
+    };
+    row("average watts", pb.total(), pc.total());
+    row("seconds", mb.seconds, mc.seconds);
+    row("joules", mb.joules, mc.joules);
+    row("EDP (P x D)", mb.edp, mc.edp);
+    row("ED^2P (P x D^2)", mb.ed2p, mc.ed2p);
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdPrune(nn::zoo::NetId id, const CliOptions &opts)
+{
+    const auto fullNet = nn::zoo::build(id, opts.seed);
+    auto accNet = nn::zoo::build(id, opts.seed, opts.scale);
+    accNet->calibrate();
+
+    dadiannao::NodeConfig node;
+    pruning::SearchOptions search;
+    search.accuracyImages = std::max(6, opts.images * 3);
+    search.timingImages = 1;
+    search.seed = opts.seed + 7;
+    search.accuracyFloor = opts.floor;
+
+    const auto point =
+        pruning::searchLossless(node, *fullNet, *accNet, search);
+    std::cout << "thresholds:";
+    for (std::int32_t t : point.config.thresholds)
+        std::cout << ' ' << t;
+    std::cout << "\nspeedup " << sim::Table::num(point.speedup)
+              << "x at relative accuracy "
+              << sim::Table::pct(point.relativeAccuracy) << '\n';
+    return 0;
+}
+
+int
+cmdZfnaf(nn::zoo::NetId id, const CliOptions &opts)
+{
+    const auto net = nn::zoo::build(id, opts.seed);
+    sim::Table t({"conv layer", "input", "zero", "avg nz/brick",
+                  "empty bricks", "ZFNAf bits vs dense"});
+    for (int nodeId : net->convNodeIds()) {
+        const nn::Node &n = net->node(nodeId);
+        const auto in =
+            nn::synthesizeConvInput(*net, nodeId, opts.seed + 1);
+        const auto enc = zfnaf::encode(in);
+        std::size_t empty = 0;
+        for (int y = 0; y < in.shape().y; ++y)
+            for (int x = 0; x < in.shape().x; ++x)
+                for (int b = 0; b < enc.bricksPerColumn(); ++b)
+                    empty += enc.nonZeroCount(x, y, b) == 0;
+        const double bricks = static_cast<double>(enc.brickCount());
+        t.addRow({n.name,
+                  sim::strfmt("{}x{}x{}", in.shape().x, in.shape().y,
+                              in.shape().z),
+                  sim::Table::pct(tensor::zeroFraction(in)),
+                  sim::Table::num(enc.totalNonZero() / bricks),
+                  sim::Table::pct(empty / bricks),
+                  sim::Table::num(
+                      static_cast<double>(enc.storageBits()) /
+                      (static_cast<double>(in.size()) * 16))});
+    }
+    t.print(std::cout);
+    std::cout << "\nZFNAf keeps brick slots aligned, so the footprint is\n"
+                 "always (16+offset bits)/16 = 1.25x the dense array —\n"
+                 "the format trades memory for direct brick indexing\n"
+                 "(Section IV-B1).\n";
+    return 0;
+}
+
+int
+cmdExportTraces(nn::zoo::NetId id, const CliOptions &opts)
+{
+    const auto net = nn::zoo::build(id, opts.seed);
+    std::filesystem::create_directories(opts.out);
+    const timing::DirectoryTraceProvider provider(opts.out);
+    int written = 0;
+    for (int i = 0; i < opts.images; ++i) {
+        const std::uint64_t seed = opts.seed + i;
+        for (int nodeId : net->convNodeIds()) {
+            const auto in = nn::synthesizeConvInput(*net, nodeId, seed);
+            tensor::saveTensorFile(provider.pathFor(*net, nodeId, seed),
+                                   in);
+            ++written;
+        }
+    }
+    std::cout << "wrote " << written << " layer traces to " << opts.out
+              << "; rerun timing against them by constructing a\n"
+                 "timing::DirectoryTraceProvider (real framework traces\n"
+                 "in the same format replace the synthetic generator).\n";
+    return 0;
+}
+
+int
+cmdReproduce(const CliOptions &opts)
+{
+    // The headline numbers of EXPERIMENTS.md in one run: Figure 1,
+    // Figure 9 (zero skipping only), Figure 11 and Figure 13.
+    driver::ExperimentConfig cfg;
+    cfg.images = opts.images;
+    cfg.seed = opts.seed;
+    std::cout << "node: " << cfg.node.describe() << "\n\n";
+
+    sim::Table t({"network", "zero operands", "CNV speedup",
+                  "EDP gain", "ED^2P gain"});
+    double zf = 0, sp = 0, edp = 0, ed2p = 0;
+    for (auto id : nn::zoo::allNetworks()) {
+        const auto net = nn::zoo::build(id, cfg.seed);
+        const double zeroFrac =
+            nn::zeroOperandFraction(*net, cfg.seed + 100);
+        const auto r = driver::evaluateNetwork(cfg, *net);
+        const auto mb = power::metricsOf(power::Arch::Baseline,
+                                         r.baselineEnergy,
+                                         r.baselineCycles);
+        const auto mc = power::metricsOf(power::Arch::Cnv, r.cnvEnergy,
+                                         r.cnvCycles);
+        zf += zeroFrac;
+        sp += r.speedup();
+        edp += mb.edp / mc.edp;
+        ed2p += mb.ed2p / mc.ed2p;
+        t.addRow({nn::zoo::netName(id), sim::Table::pct(zeroFrac),
+                  sim::Table::num(r.speedup()),
+                  sim::Table::num(mb.edp / mc.edp),
+                  sim::Table::num(mb.ed2p / mc.ed2p)});
+    }
+    t.addRow({"average", sim::Table::pct(zf / 6), sim::Table::num(sp / 6),
+              sim::Table::num(edp / 6), sim::Table::num(ed2p / 6)});
+    t.addRow({"paper", "44.0%", "1.37", "1.47", "2.01"});
+    t.print(std::cout);
+
+    const auto base = power::areaOf(power::Arch::Baseline);
+    const auto cnvA = power::areaOf(power::Arch::Cnv);
+    std::cout << "\narea overhead: "
+              << sim::Table::pct(cnvA.total() / base.total() - 1.0)
+              << " (paper: 4.49%)\n";
+    return 0;
+}
+
+int
+cmdValidate(nn::zoo::NetId id, const CliOptions &opts)
+{
+    auto net = nn::zoo::build(id, opts.seed, opts.scale);
+    net->calibrate();
+    const auto image = nn::synthesizeImage(net->node(0).outShape,
+                                           opts.seed + 1);
+
+    const dadiannao::NodeConfig node;
+    dadiannao::NodeModel baseline{node};
+    core::CnvNodeModel cnv{node};
+    const auto b = baseline.run(*net, image);
+    const auto c = cnv.run(*net, image);
+    const auto golden = net->forward(image);
+
+    const bool ok = b.final == c.final && b.final == golden.final;
+    std::cout << nn::zoo::netName(id) << " at 1/" << opts.scale
+              << " scale: baseline/CNV/golden outputs "
+              << (ok ? "bit-identical" : "MISMATCH") << "; top-1 "
+              << b.top1 << "; cycles " << b.timing.totalCycles() << " vs "
+              << c.timing.totalCycles() << '\n';
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        usage();
+
+    try {
+        const std::string &command = args[0];
+        if (command == "list")
+            return cmdList();
+        if (command == "reproduce")
+            return cmdReproduce(parseOptions(args, 1));
+        if (args.size() < 2)
+            usage();
+        const auto id = nn::zoo::netFromName(args[1]);
+        const CliOptions opts = parseOptions(args, 2);
+        if (command == "run")
+            return cmdRun(id, opts);
+        if (command == "power")
+            return cmdPower(id, opts);
+        if (command == "prune")
+            return cmdPrune(id, opts);
+        if (command == "validate")
+            return cmdValidate(id, opts);
+        if (command == "zfnaf")
+            return cmdZfnaf(id, opts);
+        if (command == "export-traces")
+            return cmdExportTraces(id, opts);
+        usage();
+    } catch (const sim::FatalError &e) {
+        std::cerr << e.what() << '\n';
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,66 @@
+#include "driver/driver.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+#include "timing/network_model.h"
+
+namespace cnv::driver {
+
+NetworkReport
+evaluateNetwork(const ExperimentConfig &cfg, const nn::Network &net,
+                const nn::PruneConfig *prune)
+{
+    NetworkReport report;
+    report.name = net.name();
+    report.images = cfg.images;
+
+    for (int i = 0; i < cfg.images; ++i) {
+        timing::RunOptions opts;
+        opts.imageSeed = cfg.seed + static_cast<std::uint64_t>(i);
+        opts.prune = prune;
+
+        const auto base = timing::simulateNetwork(
+            cfg.node, net, timing::Arch::Baseline, opts);
+        const auto cnvRun = timing::simulateNetwork(
+            cfg.node, net, timing::Arch::Cnv, opts);
+
+        report.baselineCycles += base.totalCycles();
+        report.cnvCycles += cnvRun.totalCycles();
+        report.baselineActivity += base.totalActivity();
+        report.cnvActivity += cnvRun.totalActivity();
+        report.baselineEnergy += base.totalEnergy();
+        report.cnvEnergy += cnvRun.totalEnergy();
+    }
+    return report;
+}
+
+NetworkReport
+evaluateZooNetwork(const ExperimentConfig &cfg, nn::zoo::NetId id,
+                   const nn::PruneConfig *prune)
+{
+    const auto net = nn::zoo::build(id, cfg.seed);
+    return evaluateNetwork(cfg, *net, prune);
+}
+
+double
+geomeanSpeedup(const std::vector<NetworkReport> &reports)
+{
+    CNV_ASSERT(!reports.empty(), "no reports");
+    double logSum = 0.0;
+    for (const NetworkReport &r : reports)
+        logSum += std::log(r.speedup());
+    return std::exp(logSum / static_cast<double>(reports.size()));
+}
+
+double
+meanSpeedup(const std::vector<NetworkReport> &reports)
+{
+    CNV_ASSERT(!reports.empty(), "no reports");
+    double sum = 0.0;
+    for (const NetworkReport &r : reports)
+        sum += r.speedup();
+    return sum / static_cast<double>(reports.size());
+}
+
+} // namespace cnv::driver

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment driver: the orchestration layer shared by the bench
+ * binaries and examples. Builds zoo networks, runs image batches on
+ * both architecture models, and aggregates cycles / activity /
+ * energy into per-network reports.
+ */
+
+#ifndef CNV_DRIVER_DRIVER_H
+#define CNV_DRIVER_DRIVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
+#include "nn/network.h"
+#include "nn/zoo/zoo.h"
+
+namespace cnv::driver {
+
+/** Common experiment parameters. */
+struct ExperimentConfig
+{
+    dadiannao::NodeConfig node;
+    /** Images (trace seeds) per network for timing experiments. */
+    int images = 4;
+    /** Root seed. */
+    std::uint64_t seed = 2016;
+    /** Reduction factor for accuracy-study network variants. */
+    int accuracyScale = 8;
+};
+
+/** Aggregated dual-architecture results for one network. */
+struct NetworkReport
+{
+    std::string name;
+    int images = 0;
+
+    std::uint64_t baselineCycles = 0; ///< summed over images
+    std::uint64_t cnvCycles = 0;
+    dadiannao::Activity baselineActivity;
+    dadiannao::Activity cnvActivity;
+    dadiannao::EnergyCounters baselineEnergy;
+    dadiannao::EnergyCounters cnvEnergy;
+
+    double
+    speedup() const
+    {
+        return static_cast<double>(baselineCycles) /
+               static_cast<double>(cnvCycles);
+    }
+};
+
+/**
+ * Run `cfg.images` traces of a network through both architecture
+ * timing models (optionally with CNV dynamic pruning).
+ */
+NetworkReport evaluateNetwork(const ExperimentConfig &cfg,
+                              const nn::Network &net,
+                              const nn::PruneConfig *prune = nullptr);
+
+/** Build + evaluate one zoo network. */
+NetworkReport evaluateZooNetwork(const ExperimentConfig &cfg,
+                                 nn::zoo::NetId id,
+                                 const nn::PruneConfig *prune = nullptr);
+
+/** Geometric mean of the reports' speedups. */
+double geomeanSpeedup(const std::vector<NetworkReport> &reports);
+
+/** Arithmetic mean of the reports' speedups (the paper averages so). */
+double meanSpeedup(const std::vector<NetworkReport> &reports);
+
+} // namespace cnv::driver
+
+#endif // CNV_DRIVER_DRIVER_H

@@ -1,0 +1,111 @@
+#include "driver/stats_report.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace cnv::driver {
+
+namespace {
+
+/** Stat-path-safe layer name (no '.' separators). */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    std::replace(out.begin(), out.end(), '.', '_');
+    return out;
+}
+
+void
+fillActivity(sim::StatGroup &g, const dadiannao::Activity &a)
+{
+    g.addCounter("other", "lane events in non-conv layers") += a.other;
+    g.addCounter("conv1", "lane events in the first conv layer") +=
+        a.conv1;
+    g.addCounter("zero", "lane events processing zero neurons") += a.zero;
+    g.addCounter("nonZero", "lane events processing non-zero neurons") +=
+        a.nonZero;
+    g.addCounter("stall", "lane events idle on window sync") += a.stall;
+}
+
+void
+fillEnergy(sim::StatGroup &g, const dadiannao::EnergyCounters &e)
+{
+    g.addCounter("sbReads", "16-synapse SB sublane reads") += e.sbReads;
+    g.addCounter("nmReads", "16-neuron-wide NM reads") += e.nmReads;
+    g.addCounter("nmWrites", "16-neuron-wide NM writes") += e.nmWrites;
+    g.addCounter("nbinReads", "NBin entry reads") += e.nbinReads;
+    g.addCounter("nbinWrites", "NBin entry writes") += e.nbinWrites;
+    g.addCounter("multOps", "multiplications performed") += e.multOps;
+    g.addCounter("addOps", "adder-tree additions") += e.addOps;
+    g.addCounter("encoderOps", "encoder neuron examinations") +=
+        e.encoderOps;
+    g.addCounter("offchipBytes", "bytes streamed from off-chip") +=
+        e.offchipBytes;
+}
+
+} // namespace
+
+std::unique_ptr<sim::StatGroup>
+buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
+           const power::PowerParams &params)
+{
+    auto root = std::make_unique<sim::StatGroup>(result.architecture);
+
+    auto &cycles = root->addCounter("cycles", "total execution cycles");
+    cycles += result.totalCycles();
+
+    const dadiannao::Activity activity = result.totalActivity();
+    fillActivity(root->addGroup("activity"), activity);
+    fillEnergy(root->addGroup("energy"), result.totalEnergy());
+
+    // Derived quantities the paper reasons about.
+    const double total = static_cast<double>(activity.total());
+    root->addFormula("zeroShare",
+                     "fraction of lane events processing zeros",
+                     [activity, total] {
+                         return total > 0 ? activity.zero / total : 0.0;
+                     });
+    root->addFormula("laneUtilisation",
+                     "fraction of lane events doing non-zero work",
+                     [activity, total] {
+                         return total > 0
+                             ? (activity.nonZero + activity.conv1 +
+                                activity.other) / total
+                             : 0.0;
+                     });
+
+    const auto metrics =
+        power::metricsOf(arch, result.totalEnergy(), result.totalCycles(),
+                         params);
+    auto &pw = root->addGroup("power");
+    const auto breakdown = power::powerOf(
+        arch, result.totalEnergy(), result.totalCycles(), params);
+    pw.addScalar("sbWatts", "SB power (static + dynamic)") =
+        breakdown.sbStatic + breakdown.sbDynamic;
+    pw.addScalar("nmWatts", "NM power (static + dynamic)") =
+        breakdown.nmStatic + breakdown.nmDynamic;
+    pw.addScalar("logicWatts", "logic power (static + dynamic)") =
+        breakdown.logicStatic + breakdown.logicDynamic;
+    pw.addScalar("sramWatts", "SRAM power (static + dynamic)") =
+        breakdown.sramStatic + breakdown.sramDynamic;
+    pw.addScalar("totalWatts", "total average power") = breakdown.total();
+    pw.addScalar("seconds", "execution time") = metrics.seconds;
+    pw.addScalar("joules", "energy") = metrics.joules;
+    pw.addScalar("edp", "power x delay (paper's EDP arithmetic)") =
+        metrics.edp;
+    pw.addScalar("ed2p", "power x delay^2") = metrics.ed2p;
+
+    auto &layers = root->addGroup("layers");
+    int index = 0;
+    for (const dadiannao::LayerResult &layer : result.layers) {
+        auto &g = layers.addGroup(
+            sim::strfmt("L{}_{}", index++, sanitize(layer.name)));
+        g.addCounter("cycles", "layer cycles") += layer.cycles;
+        fillActivity(g.addGroup("activity"), layer.activity);
+    }
+    return root;
+}
+
+} // namespace cnv::driver

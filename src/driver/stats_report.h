@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Bridges simulation results into the sim::StatGroup framework so
+ * embedding applications (and the cnvsim CLI) can dump or query
+ * every measured quantity by name, gem5-style.
+ */
+
+#ifndef CNV_DRIVER_STATS_REPORT_H
+#define CNV_DRIVER_STATS_REPORT_H
+
+#include <memory>
+
+#include "dadiannao/metrics.h"
+#include "power/model.h"
+#include "sim/stats.h"
+
+namespace cnv::driver {
+
+/**
+ * Build a statistics tree for one network run:
+ *
+ *   <arch>.cycles, <arch>.activity.{other,conv1,zero,nonZero,stall},
+ *   <arch>.energy.{sbReads,nmReads,...}, <arch>.power.{sb,nm,...},
+ *   <arch>.layer<N>.cycles, ...
+ *
+ * plus derived formulas (utilisation, zero share, joules, EDP).
+ */
+std::unique_ptr<sim::StatGroup>
+buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
+           const power::PowerParams &params = {});
+
+} // namespace cnv::driver
+
+#endif // CNV_DRIVER_STATS_REPORT_H

@@ -1,0 +1,230 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace cnv::nn {
+
+using tensor::Accum;
+using tensor::FilterBank;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+using tensor::Shape3;
+
+NeuronTensor
+conv2d(const NeuronTensor &in, const FilterBank &weights,
+       const std::vector<Fixed16> &bias, const ConvParams &p)
+{
+    const Shape3 inShape = in.shape();
+    const Shape3 outShape = p.outputShape(inShape);
+    const int depthPerGroup = inShape.z / p.groups;
+    const int filtersPerGroup = p.filters / p.groups;
+
+    if (weights.shape().n != p.filters || weights.shape().x != p.fx ||
+        weights.shape().y != p.fy || weights.shape().z != depthPerGroup) {
+        CNV_FATAL("conv weight shape ({},{},{},{}) does not match "
+                  "params (n={}, fx={}, fy={}, z={})",
+                  weights.shape().n, weights.shape().x, weights.shape().y,
+                  weights.shape().z, p.filters, p.fx, p.fy, depthPerGroup);
+    }
+    if (bias.size() != static_cast<std::size_t>(p.filters))
+        CNV_FATAL("conv bias count {} != filters {}", bias.size(), p.filters);
+
+    NeuronTensor out(outShape);
+
+    for (int oy = 0; oy < outShape.y; ++oy) {
+        for (int ox = 0; ox < outShape.x; ++ox) {
+            const int x0 = ox * p.stride - p.pad;
+            const int y0 = oy * p.stride - p.pad;
+            for (int f = 0; f < p.filters; ++f) {
+                const int group = f / filtersPerGroup;
+                const int zBase = group * depthPerGroup;
+                Accum acc = 0;
+                for (int ky = 0; ky < p.fy; ++ky) {
+                    const int iy = y0 + ky;
+                    if (iy < 0 || iy >= inShape.y)
+                        continue; // zero padding contributes nothing
+                    for (int kx = 0; kx < p.fx; ++kx) {
+                        const int ix = x0 + kx;
+                        if (ix < 0 || ix >= inShape.x)
+                            continue;
+                        const Fixed16 *nCol = in.column(ix, iy) + zBase;
+                        const Fixed16 *sCol =
+                            weights.data() + weights.index(f, kx, ky, 0);
+                        for (int z = 0; z < depthPerGroup; ++z)
+                            acc += mulRaw(nCol[z], sCol[z]);
+                    }
+                }
+                Fixed16 v = Fixed16::productToFixed(acc) + bias[f];
+                if (p.relu)
+                    v = v.relu();
+                out.at(ox, oy, f) = v;
+            }
+        }
+    }
+    return out;
+}
+
+NeuronTensor
+pool2d(const NeuronTensor &in, const PoolParams &p)
+{
+    const Shape3 inShape = in.shape();
+    const Shape3 outShape = p.outputShape(inShape);
+    NeuronTensor out(outShape);
+
+    for (int oy = 0; oy < outShape.y; ++oy) {
+        for (int ox = 0; ox < outShape.x; ++ox) {
+            const int x0 = ox * p.stride - p.pad;
+            const int y0 = oy * p.stride - p.pad;
+            const int x1 = std::min(x0 + p.k, inShape.x);
+            const int y1 = std::min(y0 + p.k, inShape.y);
+            const int xs = std::max(x0, 0);
+            const int ys = std::max(y0, 0);
+            for (int z = 0; z < inShape.z; ++z) {
+                if (p.op == PoolParams::Op::Max) {
+                    // A window that is all padding (possible only
+                    // with degenerate pad/kernel combinations)
+                    // yields the padding value, zero.
+                    Fixed16 best = (xs < x1 && ys < y1)
+                        ? Fixed16::fromRaw(
+                              static_cast<std::int16_t>(Fixed16::kRawMin))
+                        : Fixed16{};
+                    for (int iy = ys; iy < y1; ++iy)
+                        for (int ix = xs; ix < x1; ++ix)
+                            best = std::max(best, in.at(ix, iy, z));
+                    out.at(ox, oy, z) = best;
+                } else {
+                    // Caffe averages over the full (padded) window size.
+                    Accum sum = 0;
+                    for (int iy = ys; iy < y1; ++iy)
+                        for (int ix = xs; ix < x1; ++ix)
+                            sum += in.at(ix, iy, z).raw();
+                    const int denom = p.k * p.k;
+                    out.at(ox, oy, z) = Fixed16::saturateFromRaw(
+                        (sum + (sum >= 0 ? denom / 2 : -denom / 2)) / denom);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+NeuronTensor
+lrn(const NeuronTensor &in, const LrnParams &p)
+{
+    const Shape3 s = in.shape();
+    NeuronTensor out(s);
+    const int half = p.localSize / 2;
+
+    for (int y = 0; y < s.y; ++y) {
+        for (int x = 0; x < s.x; ++x) {
+            const Fixed16 *col = in.column(x, y);
+            for (int z = 0; z < s.z; ++z) {
+                const int z0 = std::max(0, z - half);
+                const int z1 = std::min(s.z - 1, z + half);
+                double sumSq = 0.0;
+                for (int zz = z0; zz <= z1; ++zz) {
+                    const double v = col[zz].toDouble();
+                    sumSq += v * v;
+                }
+                const double scale =
+                    std::pow(p.k + (p.alpha / p.localSize) * sumSq, -p.beta);
+                out.at(x, y, z) =
+                    Fixed16::fromDouble(col[z].toDouble() * scale);
+            }
+        }
+    }
+    return out;
+}
+
+NeuronTensor
+fullyConnected(const NeuronTensor &in, const FilterBank &weights,
+               const std::vector<Fixed16> &bias, const FcParams &p)
+{
+    const std::size_t volume = in.shape().volume();
+    if (weights.shape().n != p.outputs ||
+        static_cast<std::size_t>(weights.shape().z) *
+            weights.shape().x * weights.shape().y != volume) {
+        CNV_FATAL("fc weight shape does not match input volume {}", volume);
+    }
+    if (bias.size() != static_cast<std::size_t>(p.outputs))
+        CNV_FATAL("fc bias count {} != outputs {}", bias.size(), p.outputs);
+
+    NeuronTensor out(1, 1, p.outputs);
+    const Fixed16 *inData = in.data();
+    for (int o = 0; o < p.outputs; ++o) {
+        // FC weights are stored as one "filter" per output whose
+        // volume equals the input volume, laid out to match the
+        // flattened depth-fastest input.
+        const Fixed16 *w = weights.data() + static_cast<std::size_t>(o) * volume;
+        Accum acc = 0;
+        for (std::size_t i = 0; i < volume; ++i)
+            acc += mulRaw(inData[i], w[i]);
+        Fixed16 v = Fixed16::productToFixed(acc) + bias[o];
+        if (p.relu)
+            v = v.relu();
+        out.at(0, 0, o) = v;
+    }
+    return out;
+}
+
+NeuronTensor
+concat(const std::vector<const NeuronTensor *> &ins)
+{
+    CNV_ASSERT(!ins.empty(), "concat needs at least one input");
+    const Shape3 first = ins[0]->shape();
+    int depth = 0;
+    for (const NeuronTensor *t : ins) {
+        if (t->shape().x != first.x || t->shape().y != first.y)
+            CNV_FATAL("concat inputs disagree on spatial size");
+        depth += t->shape().z;
+    }
+    NeuronTensor out(first.x, first.y, depth);
+    for (int y = 0; y < first.y; ++y) {
+        for (int x = 0; x < first.x; ++x) {
+            int zOut = 0;
+            for (const NeuronTensor *t : ins) {
+                for (int z = 0; z < t->shape().z; ++z)
+                    out.at(x, y, zOut++) = t->at(x, y, z);
+            }
+        }
+    }
+    return out;
+}
+
+NeuronTensor
+softmax(const NeuronTensor &in)
+{
+    const Shape3 s = in.shape();
+    CNV_ASSERT(s.x == 1 && s.y == 1, "softmax expects a 1x1xC tensor");
+    double maxV = -1e30;
+    for (int z = 0; z < s.z; ++z)
+        maxV = std::max(maxV, in.at(0, 0, z).toDouble());
+    double sum = 0.0;
+    std::vector<double> exps(s.z);
+    for (int z = 0; z < s.z; ++z) {
+        exps[z] = std::exp(in.at(0, 0, z).toDouble() - maxV);
+        sum += exps[z];
+    }
+    NeuronTensor out(s);
+    for (int z = 0; z < s.z; ++z)
+        out.at(0, 0, z) = Fixed16::fromDouble(exps[z] / sum);
+    return out;
+}
+
+int
+argmax(const NeuronTensor &logits)
+{
+    const Shape3 s = logits.shape();
+    CNV_ASSERT(s.x == 1 && s.y == 1 && s.z > 0, "argmax expects 1x1xC");
+    int best = 0;
+    for (int z = 1; z < s.z; ++z) {
+        if (logits.at(0, 0, z) > logits.at(0, 0, best))
+            best = z;
+    }
+    return best;
+}
+
+} // namespace cnv::nn

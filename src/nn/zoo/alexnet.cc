@@ -1,0 +1,37 @@
+/**
+ * @file
+ * alex — Caffe bvlc_reference_caffenet (AlexNet variant), 5 conv
+ * layers, grouped conv2/4/5, LRN after the first two pools.
+ */
+
+#include "nn/zoo/builders.h"
+
+namespace cnv::nn::zoo {
+
+std::unique_ptr<Network>
+buildAlex(std::uint64_t seed, const Scaler &s)
+{
+    auto net = std::make_unique<Network>("alex", seed);
+    int x = net->addInput({s.sp(227), s.sp(227), 3});
+
+    x = net->addConv("conv1", x, clampConv(*net, x, conv(s.ch(96), 11, 4, 0)));
+    x = net->addPool("pool1", x, clampPool(*net, x, maxPool(3, 2)));
+    x = net->addLrn("norm1", x, LrnParams{});
+
+    x = net->addConv("conv2", x, clampConv(*net, x, conv(s.ch(256), 5, 1, 2, 2)));
+    x = net->addPool("pool2", x, clampPool(*net, x, maxPool(3, 2)));
+    x = net->addLrn("norm2", x, LrnParams{});
+
+    x = net->addConv("conv3", x, clampConv(*net, x, conv(s.ch(384), 3, 1, 1)));
+    x = net->addConv("conv4", x, clampConv(*net, x, conv(s.ch(384), 3, 1, 1, 2)));
+    x = net->addConv("conv5", x, clampConv(*net, x, conv(s.ch(256), 3, 1, 1, 2)));
+    x = net->addPool("pool5", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = net->addFc("fc6", x, FcParams{s.fc(4096), true});
+    x = net->addFc("fc7", x, FcParams{s.fc(4096), true});
+    x = net->addFc("fc8", x, FcParams{s.fc(1000), false});
+    net->addSoftmax("prob", x);
+    return net;
+}
+
+} // namespace cnv::nn::zoo

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Internal helpers shared by the zoo network builders.
+ */
+
+#ifndef CNV_NN_ZOO_BUILDERS_H
+#define CNV_NN_ZOO_BUILDERS_H
+
+#include <algorithm>
+#include <memory>
+
+#include "nn/network.h"
+
+namespace cnv::nn::zoo {
+
+/**
+ * Reduces a network's cost while preserving its structure: spatial
+ * extents divide by `scale`; channel counts divide by `scale` but
+ * stay multiples of 16 (one ZFNAf brick) so grouped layers and
+ * brick alignment behave as at full scale.
+ */
+struct Scaler
+{
+    int scale = 1;
+
+    /** Scaled spatial extent. */
+    int
+    sp(int v) const
+    {
+        return std::max(8, v / scale);
+    }
+
+    /**
+     * Scaled channel count. Full scale passes through unchanged;
+     * reduced scales round to multiples of 32 so grouped layers
+     * (groups = 2) keep brick-aligned group slices.
+     */
+    int
+    ch(int v) const
+    {
+        if (scale == 1)
+            return v;
+        const int scaled = std::max(32, v / scale);
+        return ((scaled + 31) / 32) * 32;
+    }
+
+    /** Scaled fully-connected width. */
+    int
+    fc(int v) const
+    {
+        return std::max(32, v / scale);
+    }
+};
+
+/** Terse ConvParams constructor used by all builders. */
+inline ConvParams
+conv(int filters, int k, int stride, int pad, int groups = 1)
+{
+    ConvParams p;
+    p.filters = filters;
+    p.fx = k;
+    p.fy = k;
+    p.stride = stride;
+    p.pad = pad;
+    p.groups = groups;
+    return p;
+}
+
+/** Max pooling; k clamped to the current spatial extent. */
+inline PoolParams
+maxPool(int k, int stride, int pad = 0)
+{
+    PoolParams p;
+    p.op = PoolParams::Op::Max;
+    p.k = k;
+    p.stride = stride;
+    p.pad = pad;
+    return p;
+}
+
+/** Average pooling. */
+inline PoolParams
+avgPool(int k, int stride, int pad = 0)
+{
+    PoolParams p;
+    p.op = PoolParams::Op::Avg;
+    p.k = k;
+    p.stride = stride;
+    p.pad = pad;
+    return p;
+}
+
+/** Clamp a pooling window to the producer's spatial extent. */
+PoolParams clampPool(const Network &net, int input, PoolParams p);
+
+/**
+ * Clamp a conv kernel to the producer's padded extent — a no-op at
+ * full scale, but it keeps reduced-scale variants (whose spatial
+ * extents shrink faster than the fixed kernels) well formed.
+ */
+ConvParams clampConv(const Network &net, int input, ConvParams p);
+
+std::unique_ptr<Network> buildAlex(std::uint64_t seed, const Scaler &s);
+std::unique_ptr<Network> buildGoogle(std::uint64_t seed, const Scaler &s);
+std::unique_ptr<Network> buildNin(std::uint64_t seed, const Scaler &s);
+std::unique_ptr<Network> buildVgg19(std::uint64_t seed, const Scaler &s);
+std::unique_ptr<Network> buildCnnM(std::uint64_t seed, const Scaler &s);
+std::unique_ptr<Network> buildCnnS(std::uint64_t seed, const Scaler &s);
+
+} // namespace cnv::nn::zoo
+
+#endif // CNV_NN_ZOO_BUILDERS_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * google — Caffe bvlc_googlenet (GoogLeNet / Inception v1).
+ *
+ * 59 convolutional layers: the conv1/conv2 stem (3), nine inception
+ * modules of six convolutions each (54), and the two 1x1
+ * convolutions of the auxiliary classifier heads attached to
+ * inception 4a and 4d (2). The auxiliary heads are retained so the
+ * conv-layer count matches the paper's Table I; their compute share
+ * is under 1%.
+ */
+
+#include "nn/zoo/builders.h"
+
+namespace cnv::nn::zoo {
+
+namespace {
+
+/** One inception module; returns the concat node id. */
+int
+inception(Network &net, const Scaler &s, const std::string &name, int in,
+          int c1, int c3r, int c3, int c5r, int c5, int cp)
+{
+    const int b1 = net.addConv(name + "/1x1", in, clampConv(net, in, conv(s.ch(c1), 1, 1, 0)));
+    const int b3r =
+        net.addConv(name + "/3x3_reduce", in, clampConv(net, in, conv(s.ch(c3r), 1, 1, 0)));
+    const int b3 = net.addConv(name + "/3x3", b3r, clampConv(net, b3r, conv(s.ch(c3), 3, 1, 1)));
+    const int b5r =
+        net.addConv(name + "/5x5_reduce", in, clampConv(net, in, conv(s.ch(c5r), 1, 1, 0)));
+    const int b5 = net.addConv(name + "/5x5", b5r, clampConv(net, b5r, conv(s.ch(c5), 5, 1, 2)));
+    const int bp =
+        net.addPool(name + "/pool", in, clampPool(net, in, maxPool(3, 1, 1)));
+    const int bpp =
+        net.addConv(name + "/pool_proj", bp, clampConv(net, bp, conv(s.ch(cp), 1, 1, 0)));
+    return net.addConcat(name + "/output", {b1, b3, b5, bpp});
+}
+
+/** Auxiliary classifier head (train-time side branch, kept for
+ *  layer-count fidelity; a dead end at inference). */
+void
+auxHead(Network &net, const Scaler &s, const std::string &name, int in)
+{
+    const int spatial = net.node(in).outShape.x;
+    PoolParams ap = avgPool(std::min(5, spatial), std::min(3, spatial));
+    const int pool = net.addPool(name + "/ave_pool", in, ap);
+    const int cv =
+        net.addConv(name + "/conv", pool, clampConv(net, pool, conv(s.ch(128), 1, 1, 0)));
+    const int f1 = net.addFc(name + "/fc", cv, FcParams{s.fc(1024), true});
+    net.addFc(name + "/classifier", f1, FcParams{s.fc(1000), false});
+}
+
+} // namespace
+
+std::unique_ptr<Network>
+buildGoogle(std::uint64_t seed, const Scaler &s)
+{
+    auto net = std::make_unique<Network>("google", seed);
+    int x = net->addInput({s.sp(224), s.sp(224), 3});
+
+    x = net->addConv("conv1/7x7_s2", x, clampConv(*net, x, conv(s.ch(64), 7, 2, 3)));
+    x = net->addPool("pool1/3x3_s2", x, clampPool(*net, x, maxPool(3, 2)));
+    x = net->addLrn("pool1/norm1", x, LrnParams{});
+
+    x = net->addConv("conv2/3x3_reduce", x, clampConv(*net, x, conv(s.ch(64), 1, 1, 0)));
+    x = net->addConv("conv2/3x3", x, clampConv(*net, x, conv(s.ch(192), 3, 1, 1)));
+    x = net->addLrn("conv2/norm2", x, LrnParams{});
+    x = net->addPool("pool2/3x3_s2", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = inception(*net, s, "inception_3a", x, 64, 96, 128, 16, 32, 32);
+    x = inception(*net, s, "inception_3b", x, 128, 128, 192, 32, 96, 64);
+    x = net->addPool("pool3/3x3_s2", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = inception(*net, s, "inception_4a", x, 192, 96, 208, 16, 48, 64);
+    auxHead(*net, s, "loss1", x);
+    x = inception(*net, s, "inception_4b", x, 160, 112, 224, 24, 64, 64);
+    x = inception(*net, s, "inception_4c", x, 128, 128, 256, 24, 64, 64);
+    x = inception(*net, s, "inception_4d", x, 112, 144, 288, 32, 64, 64);
+    auxHead(*net, s, "loss2", x);
+    x = inception(*net, s, "inception_4e", x, 256, 160, 320, 32, 128, 128);
+    x = net->addPool("pool4/3x3_s2", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = inception(*net, s, "inception_5a", x, 256, 160, 320, 32, 128, 128);
+    x = inception(*net, s, "inception_5b", x, 384, 192, 384, 48, 128, 128);
+
+    const int spatial = net->node(x).outShape.x;
+    x = net->addPool("pool5/7x7_s1", x, avgPool(spatial, 1));
+    x = net->addFc("loss3/classifier", x, FcParams{s.fc(1000), false});
+    net->addSoftmax("prob", x);
+    return net;
+}
+
+} // namespace cnv::nn::zoo

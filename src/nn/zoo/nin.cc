@@ -1,0 +1,45 @@
+/**
+ * @file
+ * nin — Model Zoo "NIN-imagenet": 12 conv layers, each spatial
+ * convolution followed by two 1x1 "cccp" (cascaded cross-channel
+ * parametric pooling) convolutions, ending in global average
+ * pooling over 1000 feature maps instead of fully-connected layers.
+ */
+
+#include "nn/zoo/builders.h"
+
+namespace cnv::nn::zoo {
+
+std::unique_ptr<Network>
+buildNin(std::uint64_t seed, const Scaler &s)
+{
+    auto net = std::make_unique<Network>("nin", seed);
+    int x = net->addInput({s.sp(224), s.sp(224), 3});
+
+    x = net->addConv("conv1", x, clampConv(*net, x, conv(s.ch(96), 11, 4, 0)));
+    x = net->addConv("cccp1", x, clampConv(*net, x, conv(s.ch(96), 1, 1, 0)));
+    x = net->addConv("cccp2", x, clampConv(*net, x, conv(s.ch(96), 1, 1, 0)));
+    x = net->addPool("pool1", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = net->addConv("conv2", x, clampConv(*net, x, conv(s.ch(256), 5, 1, 2)));
+    x = net->addConv("cccp3", x, clampConv(*net, x, conv(s.ch(256), 1, 1, 0)));
+    x = net->addConv("cccp4", x, clampConv(*net, x, conv(s.ch(256), 1, 1, 0)));
+    x = net->addPool("pool2", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = net->addConv("conv3", x, clampConv(*net, x, conv(s.ch(384), 3, 1, 1)));
+    x = net->addConv("cccp5", x, clampConv(*net, x, conv(s.ch(384), 1, 1, 0)));
+    x = net->addConv("cccp6", x, clampConv(*net, x, conv(s.ch(384), 1, 1, 0)));
+    x = net->addPool("pool3", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = net->addConv("conv4", x, clampConv(*net, x, conv(s.ch(1024), 3, 1, 1)));
+    x = net->addConv("cccp7", x, clampConv(*net, x, conv(s.ch(1024), 1, 1, 0)));
+    x = net->addConv("cccp8", x, clampConv(*net, x, conv(s.fc(1000), 1, 1, 0)));
+
+    // Global average pooling over the remaining spatial extent.
+    const int spatial = net->node(x).outShape.x;
+    x = net->addPool("pool4", x, avgPool(spatial, 1));
+    net->addSoftmax("prob", x);
+    return net;
+}
+
+} // namespace cnv::nn::zoo

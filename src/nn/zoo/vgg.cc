@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The three VGG-family networks of Table I:
+ *  - vgg19: Model Zoo "VGG 19-layer" — 16 conv layers of 3x3.
+ *  - cnnM:  Model Zoo "VGG_CNN_M_2048" — 5 conv layers, 2048-wide fc7.
+ *  - cnnS:  Model Zoo "VGG_CNN_S" — 5 conv layers, stride-3 pools.
+ */
+
+#include "nn/zoo/builders.h"
+
+namespace cnv::nn::zoo {
+
+std::unique_ptr<Network>
+buildVgg19(std::uint64_t seed, const Scaler &s)
+{
+    auto net = std::make_unique<Network>("vgg19", seed);
+    int x = net->addInput({s.sp(224), s.sp(224), 3});
+
+    int block = 0;
+    auto stage = [&](int filters, int convs) {
+        ++block;
+        for (int c = 1; c <= convs; ++c) {
+            x = net->addConv(
+                sim::strfmt("conv{}_{}", block, c), x,
+                clampConv(*net, x, conv(s.ch(filters), 3, 1, 1)));
+        }
+        x = net->addPool(sim::strfmt("pool{}", block), x,
+                         clampPool(*net, x, maxPool(2, 2)));
+    };
+
+    stage(64, 2);
+    stage(128, 2);
+    stage(256, 4);
+    stage(512, 4);
+    stage(512, 4);
+
+    x = net->addFc("fc6", x, FcParams{s.fc(4096), true});
+    x = net->addFc("fc7", x, FcParams{s.fc(4096), true});
+    x = net->addFc("fc8", x, FcParams{s.fc(1000), false});
+    net->addSoftmax("prob", x);
+    return net;
+}
+
+std::unique_ptr<Network>
+buildCnnM(std::uint64_t seed, const Scaler &s)
+{
+    auto net = std::make_unique<Network>("cnnM", seed);
+    int x = net->addInput({s.sp(224), s.sp(224), 3});
+
+    x = net->addConv("conv1", x, clampConv(*net, x, conv(s.ch(96), 7, 2, 0)));
+    x = net->addLrn("norm1", x, LrnParams{});
+    x = net->addPool("pool1", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = net->addConv("conv2", x, clampConv(*net, x, conv(s.ch(256), 5, 2, 1)));
+    x = net->addLrn("norm2", x, LrnParams{});
+    x = net->addPool("pool2", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = net->addConv("conv3", x, clampConv(*net, x, conv(s.ch(512), 3, 1, 1)));
+    x = net->addConv("conv4", x, clampConv(*net, x, conv(s.ch(512), 3, 1, 1)));
+    x = net->addConv("conv5", x, clampConv(*net, x, conv(s.ch(512), 3, 1, 1)));
+    x = net->addPool("pool5", x, clampPool(*net, x, maxPool(3, 2)));
+
+    x = net->addFc("fc6", x, FcParams{s.fc(4096), true});
+    x = net->addFc("fc7", x, FcParams{s.fc(2048), true});
+    x = net->addFc("fc8", x, FcParams{s.fc(1000), false});
+    net->addSoftmax("prob", x);
+    return net;
+}
+
+std::unique_ptr<Network>
+buildCnnS(std::uint64_t seed, const Scaler &s)
+{
+    auto net = std::make_unique<Network>("cnnS", seed);
+    int x = net->addInput({s.sp(224), s.sp(224), 3});
+
+    x = net->addConv("conv1", x, clampConv(*net, x, conv(s.ch(96), 7, 2, 0)));
+    x = net->addLrn("norm1", x, LrnParams{});
+    x = net->addPool("pool1", x, clampPool(*net, x, maxPool(3, 3)));
+
+    x = net->addConv("conv2", x, clampConv(*net, x, conv(s.ch(256), 5, 1, 0)));
+    x = net->addPool("pool2", x, clampPool(*net, x, maxPool(2, 2)));
+
+    x = net->addConv("conv3", x, clampConv(*net, x, conv(s.ch(512), 3, 1, 1)));
+    x = net->addConv("conv4", x, clampConv(*net, x, conv(s.ch(512), 3, 1, 1)));
+    x = net->addConv("conv5", x, clampConv(*net, x, conv(s.ch(512), 3, 1, 1)));
+    x = net->addPool("pool5", x, clampPool(*net, x, maxPool(3, 3)));
+
+    x = net->addFc("fc6", x, FcParams{s.fc(4096), true});
+    x = net->addFc("fc7", x, FcParams{s.fc(4096), true});
+    x = net->addFc("fc8", x, FcParams{s.fc(1000), false});
+    net->addSoftmax("prob", x);
+    return net;
+}
+
+} // namespace cnv::nn::zoo

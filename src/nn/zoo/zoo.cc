@@ -1,0 +1,157 @@
+#include "nn/zoo/zoo.h"
+
+#include <cmath>
+
+#include "nn/trace.h"
+#include "nn/zoo/builders.h"
+#include "sim/logging.h"
+
+namespace cnv::nn::zoo {
+
+PoolParams
+clampPool(const Network &net, int input, PoolParams p)
+{
+    const int spatial = net.node(input).outShape.x;
+    // The window may not exceed the padded extent (keeps >= 1
+    // output); same-padded inception pools keep their size at any
+    // scale because the pad still counts.
+    p.k = std::min(p.k, spatial + 2 * p.pad);
+    p.stride = std::min(p.stride, std::max(1, spatial));
+    return p;
+}
+
+ConvParams
+clampConv(const Network &net, int input, ConvParams p)
+{
+    const int spatial = net.node(input).outShape.x;
+    p.fx = std::min(p.fx, spatial + 2 * p.pad);
+    p.fy = std::min(p.fy, spatial + 2 * p.pad);
+    return p;
+}
+
+std::vector<NetId>
+allNetworks()
+{
+    return {NetId::Alex, NetId::Google, NetId::Nin,
+            NetId::Vgg19, NetId::CnnM, NetId::CnnS};
+}
+
+const char *
+netName(NetId id)
+{
+    switch (id) {
+      case NetId::Alex: return "alex";
+      case NetId::Google: return "google";
+      case NetId::Nin: return "nin";
+      case NetId::Vgg19: return "vgg19";
+      case NetId::CnnM: return "cnnM";
+      case NetId::CnnS: return "cnnS";
+    }
+    return "?";
+}
+
+NetId
+netFromName(const std::string &name)
+{
+    for (NetId id : allNetworks()) {
+        if (name == netName(id))
+            return id;
+    }
+    CNV_FATAL("unknown network '{}'", name);
+}
+
+double
+zeroOperandTarget(NetId id)
+{
+    // Figure 1: per-network average fraction of conv multiplication
+    // operands that are zero-valued neurons (nin lowest at 37%,
+    // cnnS highest at 50%, all-network average 44%).
+    switch (id) {
+      case NetId::Alex: return 0.44;
+      case NetId::Google: return 0.46;
+      case NetId::Nin: return 0.37;
+      case NetId::Vgg19: return 0.45;
+      case NetId::CnnM: return 0.43;
+      case NetId::CnnS: return 0.50;
+    }
+    return 0.44;
+}
+
+void
+calibrateSparsity(Network &net, double target, bool quiet)
+{
+    const int convs = net.convLayerCount();
+    CNV_ASSERT(convs > 0, "network has no conv layers");
+
+    // Base profile: sparsity grows with depth (later layers encode
+    // rarer, more specific features). Image-fed layers stay dense.
+    std::vector<double> base(convs, 0.0);
+    std::vector<double> macs(convs, 0.0);
+    std::vector<bool> imageFed(convs, false);
+    double totalMacs = 0.0;
+    for (int i = 0; i < convs; ++i) {
+        const int id = net.convNodeIds()[i];
+        const double frac = convs > 1
+            ? static_cast<double>(i) / (convs - 1) : 0.0;
+        base[i] = 0.40 + 0.22 * frac;
+        macs[i] = static_cast<double>(net.node(id).macs());
+        totalMacs += macs[i];
+        for (const TraceSegment &seg : inputSegments(net, id)) {
+            if (seg.producerConvIndex < 0)
+                imageFed[i] = true;
+        }
+    }
+
+    auto weightedMean = [&](double alpha) {
+        double acc = 0.0;
+        for (int i = 0; i < convs; ++i) {
+            const double zf = imageFed[i]
+                ? 0.01 : std::clamp(alpha * base[i], 0.0, 0.80);
+            acc += zf * macs[i];
+        }
+        return acc / totalMacs;
+    };
+
+    // Bisection on the profile scale.
+    double lo = 0.01, hi = 2.5;
+    if (weightedMean(hi) < target && !quiet) {
+        CNV_WARN("network '{}': target zero fraction {} unreachable; "
+                 "saturating profile", net.name(), target);
+    }
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (weightedMean(mid) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const double alpha = 0.5 * (lo + hi);
+
+    for (int i = 0; i < convs; ++i) {
+        const double zf = imageFed[i]
+            ? 0.01 : std::clamp(alpha * base[i], 0.0, 0.80);
+        net.setConvInputZeroFraction(i, zf);
+    }
+}
+
+std::unique_ptr<Network>
+build(NetId id, std::uint64_t seed, int scale)
+{
+    if (scale < 1)
+        CNV_FATAL("network scale must be >= 1, got {}", scale);
+    const Scaler s{scale};
+    std::unique_ptr<Network> net;
+    switch (id) {
+      case NetId::Alex: net = buildAlex(seed, s); break;
+      case NetId::Google: net = buildGoogle(seed, s); break;
+      case NetId::Nin: net = buildNin(seed, s); break;
+      case NetId::Vgg19: net = buildVgg19(seed, s); break;
+      case NetId::CnnM: net = buildCnnM(seed, s); break;
+      case NetId::CnnS: net = buildCnnS(seed, s); break;
+    }
+    calibrateSparsity(*net, zeroOperandTarget(id), scale > 1);
+    net->deriveOutputTargets();
+    return net;
+}
+
+} // namespace cnv::nn::zoo

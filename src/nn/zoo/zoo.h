@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The network zoo: exact layer geometries of the six networks the
+ * paper evaluates (Table I), with per-layer input-sparsity targets
+ * calibrated so the MAC-weighted zero-operand fraction matches the
+ * paper's Figure 1.
+ *
+ * | name   | conv layers | source (paper Table I)          |
+ * |--------|-------------|---------------------------------|
+ * | alex   | 5           | Caffe: bvlc_reference_caffenet  |
+ * | google | 59          | Caffe: bvlc_googlenet (incl. 2 auxiliary-classifier convs) |
+ * | nin    | 12          | Model Zoo: NIN-imagenet         |
+ * | vgg19  | 16          | Model Zoo: VGG 19-layer         |
+ * | cnnM   | 5           | Model Zoo: VGG_CNN_M_2048       |
+ * | cnnS   | 5           | Model Zoo: VGG_CNN_S            |
+ */
+
+#ifndef CNV_NN_ZOO_ZOO_H
+#define CNV_NN_ZOO_ZOO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace cnv::nn::zoo {
+
+/** Identifiers of the evaluated networks. */
+enum class NetId { Alex, Google, Nin, Vgg19, CnnM, CnnS };
+
+/** All networks in the paper's presentation order. */
+std::vector<NetId> allNetworks();
+
+/** Canonical lowercase name ("alex", "google", ...). */
+const char *netName(NetId id);
+
+/** Parse a name; fatal on unknown names. */
+NetId netFromName(const std::string &name);
+
+/**
+ * Paper Figure 1 target: average fraction of conv multiplication
+ * operands that are zero-valued neurons for this network.
+ */
+double zeroOperandTarget(NetId id);
+
+/**
+ * Build a network with calibrated sparsity targets.
+ *
+ * @param id Which network.
+ * @param seed Seed for synthetic weights (and all traces derived
+ *        from the network).
+ * @param scale Divides spatial extents and depths by this factor
+ *        (>= 1) to produce reduced-cost variants with identical
+ *        structure — used by functional accuracy experiments;
+ *        timing always uses scale 1.
+ */
+std::unique_ptr<Network> build(NetId id, std::uint64_t seed = 1,
+                               int scale = 1);
+
+/**
+ * Calibrate per-conv-layer input sparsity: scales a depth ramp so
+ * the MAC-weighted average over all conv layers equals `target`.
+ * Called by build(); exposed for tests and custom networks.
+ *
+ * @param quiet Suppress the unreachable-target warning (reduced-
+ *        scale variants inflate the first layer's MAC share, so
+ *        their profile saturating is expected).
+ */
+void calibrateSparsity(Network &net, double target, bool quiet = false);
+
+} // namespace cnv::nn::zoo
+
+#endif // CNV_NN_ZOO_ZOO_H

@@ -1,0 +1,84 @@
+#include "power/model.h"
+
+#include "sim/logging.h"
+
+namespace cnv::power {
+
+using dadiannao::EnergyCounters;
+
+AreaBreakdown
+areaOf(Arch arch, const PowerParams &p)
+{
+    AreaBreakdown a;
+    a.sb = p.sbArea;
+    a.nm = p.nmArea;
+    a.logic = p.logicArea;
+    a.sram = p.sramArea;
+    if (arch == Arch::Cnv) {
+        a.nm *= p.nmAreaScaleCnv;
+        a.sram *= p.sramAreaScaleCnv;
+        a.logic *= p.logicAreaScaleCnv;
+    }
+    return a;
+}
+
+PowerBreakdown
+powerOf(Arch arch, const EnergyCounters &c, std::uint64_t cycles,
+        const PowerParams &p)
+{
+    CNV_ASSERT(cycles > 0, "power needs a non-empty run");
+    const bool cnvArch = arch == Arch::Cnv;
+    const double seconds =
+        static_cast<double>(cycles) / (p.clockGhz * 1e9);
+
+    // Dynamic energy per component (joules).
+    const double pj = 1e-12;
+    const double sbE = static_cast<double>(c.sbReads) * p.sbReadPj * pj;
+    const double nmScale = cnvArch ? p.nmAccessScaleCnv : 1.0;
+    const double nmE = static_cast<double>(c.nmReads + c.nmWrites) *
+                       p.nmAccessPj * nmScale * pj;
+    const double nbinScale = cnvArch ? p.nbinScaleCnv : 1.0;
+    const double sramE = static_cast<double>(c.nbinReads + c.nbinWrites) *
+                         p.nbinAccessPj * nbinScale * pj;
+    // Off-chip DRAM energy (c.offchipBytes) is excluded: the paper
+    // reports accelerator-chip power (Synopsys DC + Destiny models
+    // of the on-chip components only).
+    const double logicE =
+        (static_cast<double>(c.multOps) * p.multPj +
+         static_cast<double>(c.addOps) * p.addPj +
+         static_cast<double>(c.encoderOps) * p.encoderPj) * pj;
+
+    PowerBreakdown out;
+    out.sbDynamic = sbE / seconds;
+    out.nmDynamic = nmE / seconds;
+    out.sramDynamic = sramE / seconds;
+    out.logicDynamic = logicE / seconds;
+
+    // Static power scales with component area.
+    out.sbStatic = p.sbStaticW;
+    out.nmStatic = p.nmStaticW;
+    out.logicStatic = p.logicStaticW;
+    out.sramStatic = p.sramStaticW;
+    if (cnvArch) {
+        out.nmStatic *= p.nmAreaScaleCnv * p.nmBankingStaticScaleCnv;
+        out.sramStatic *= p.sramAreaScaleCnv;
+        out.logicStatic *= p.logicAreaScaleCnv;
+    }
+    return out;
+}
+
+RunMetrics
+metricsOf(Arch arch, const EnergyCounters &c, std::uint64_t cycles,
+          const PowerParams &p)
+{
+    const PowerBreakdown pb = powerOf(arch, c, cycles, p);
+    RunMetrics m;
+    m.seconds = static_cast<double>(cycles) / (p.clockGhz * 1e9);
+    m.watts = pb.total();
+    m.joules = m.watts * m.seconds;
+    m.edp = m.watts * m.seconds;          // paper's EDP arithmetic
+    m.ed2p = m.watts * m.seconds * m.seconds;
+    return m;
+}
+
+} // namespace cnv::power

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Area and energy models for the two architectures (Sections V-C
+ * and V-D).
+ *
+ * The paper measured area and power from synthesized Verilog (TSMC
+ * 65nm, Synopsys DC), Artisan register-file compilers, and the
+ * Destiny eDRAM model. This library substitutes a component-level
+ * model: per-component areas and per-event/static energies are
+ * constants calibrated once against the paper's published
+ * breakdowns (Figures 11 and 12), with all *activity* — SB reads
+ * suppressed during stalls, NM accesses, multiplications, encoder
+ * work — coming from the simulators' event counters. Relative
+ * results (the paper's claims) therefore emerge from simulation;
+ * only the absolute scale is calibrated. See DESIGN.md.
+ */
+
+#ifndef CNV_POWER_MODEL_H
+#define CNV_POWER_MODEL_H
+
+#include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
+
+namespace cnv::power {
+
+/** Architecture variant for area/energy scaling. */
+enum class Arch { Baseline, Cnv };
+
+/** Component areas in mm^2 (65nm node). */
+struct AreaBreakdown
+{
+    double sb = 0.0;     ///< 32MB filter storage (eDRAM)
+    double nm = 0.0;     ///< central Neuron Memory (eDRAM)
+    double logic = 0.0;  ///< datapath, control, dispatcher, encoder
+    double sram = 0.0;   ///< NBin/NBout (+ offset buffers in CNV)
+
+    double total() const { return sb + nm + logic + sram; }
+};
+
+/** Per-component power in watts, split static/dynamic. */
+struct PowerBreakdown
+{
+    double sbStatic = 0.0, sbDynamic = 0.0;
+    double nmStatic = 0.0, nmDynamic = 0.0;
+    double logicStatic = 0.0, logicDynamic = 0.0;
+    double sramStatic = 0.0, sramDynamic = 0.0;
+
+    double
+    staticTotal() const
+    {
+        return sbStatic + nmStatic + logicStatic + sramStatic;
+    }
+
+    double
+    dynamicTotal() const
+    {
+        return sbDynamic + nmDynamic + logicDynamic + sramDynamic;
+    }
+
+    double total() const { return staticTotal() + dynamicTotal(); }
+};
+
+/** Energy/delay metrics for one run. */
+struct RunMetrics
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+    double watts = 0.0;
+    /**
+     * The paper computes "EDP" as average-power x delay (= energy)
+     * and "ED^2P" as average-power x delay^2 (= energy x delay); we
+     * follow the same arithmetic so ratios are comparable
+     * (Figure 13; see EXPERIMENTS.md).
+     */
+    double edp = 0.0;
+    double ed2p = 0.0;
+};
+
+/** Calibrated model parameters (defaults reproduce the paper). */
+struct PowerParams
+{
+    // --- Areas (mm^2), baseline node ---
+    double sbArea = 44.0;
+    double nmArea = 6.0;
+    double logicArea = 12.0;
+    double sramArea = 5.6;
+
+    // --- CNV area scale factors (Section V-C) ---
+    double nmAreaScaleCnv = 1.34;    ///< +25% offsets, 16 banks
+    double sramAreaScaleCnv = 1.158; ///< offset buffer space
+    double logicAreaScaleCnv = 1.01; ///< dispatcher + encoders
+
+    // --- Dynamic energies (picojoules per event) ---
+    double sbReadPj = 48.0;       ///< 16-synapse (256-bit) eDRAM read
+    double nmAccessPj = 60.0;     ///< 16-neuron NM read or write
+    double nmAccessScaleCnv = 1.35; ///< wider (offsets) + banked access
+    double nbinAccessPj = 1.1;    ///< NBin/NBout entry access
+    double nbinScaleCnv = 1.25;   ///< entry carries a 4-bit offset
+    double multPj = 0.5;          ///< 16-bit multiply
+    double addPj = 0.25;          ///< adder-tree add
+    double encoderPj = 0.35;     ///< encoder neuron examination
+    double offchipPjPerByte = 20.0; ///< reported, not in chip power
+
+    // --- Static power (watts), baseline node ---
+    double sbStaticW = 1.00;
+    double nmStaticW = 2.40;
+    double logicStaticW = 0.25;
+    double sramStaticW = 0.30;
+    /** Extra NM leakage from banking (peripheral duplication). */
+    double nmBankingStaticScaleCnv = 1.05;
+
+    double clockGhz = 1.0;
+};
+
+/** Component area breakdown for an architecture (Figure 11). */
+AreaBreakdown areaOf(Arch arch, const PowerParams &p = {});
+
+/**
+ * Average power over a run (Figure 12).
+ *
+ * @param arch Architecture variant.
+ * @param counters Event totals from the simulator.
+ * @param cycles Run length in cycles.
+ */
+PowerBreakdown powerOf(Arch arch, const dadiannao::EnergyCounters &counters,
+                       std::uint64_t cycles, const PowerParams &p = {});
+
+/** Delay, energy, EDP, ED^2P for a run (Figure 13). */
+RunMetrics metricsOf(Arch arch, const dadiannao::EnergyCounters &counters,
+                     std::uint64_t cycles, const PowerParams &p = {});
+
+} // namespace cnv::power
+
+#endif // CNV_POWER_MODEL_H

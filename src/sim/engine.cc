@@ -1,0 +1,46 @@
+#include "sim/engine.h"
+
+#include "sim/logging.h"
+
+namespace cnv::sim {
+
+void
+Engine::add(Clocked &component)
+{
+    components_.push_back(&component);
+}
+
+bool
+Engine::allDone() const
+{
+    for (const Clocked *c : components_) {
+        if (!c->done())
+            return false;
+    }
+    return true;
+}
+
+void
+Engine::step()
+{
+    for (Clocked *c : components_)
+        c->evaluate(now_);
+    for (Clocked *c : components_)
+        c->commit(now_);
+    ++now_;
+}
+
+Cycle
+Engine::run(Cycle maxCycles)
+{
+    const Cycle start = now_;
+    while (!allDone()) {
+        if (now_ - start >= maxCycles)
+            CNV_FATAL("engine '{}' exceeded cycle limit {} — deadlock?",
+                      name_, maxCycles);
+        step();
+    }
+    return now_ - start;
+}
+
+} // namespace cnv::sim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cycle-stepped simulation engine.
+ *
+ * The engine advances a set of Clocked components in lock step. Each
+ * cycle has two phases: evaluate() — combinational work, reading
+ * only state committed in previous cycles — and commit() — latching
+ * the new state. The split lets components communicate through
+ * Latch objects without order dependence on the evaluation sequence.
+ */
+
+#ifndef CNV_SIM_ENGINE_H
+#define CNV_SIM_ENGINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnv::sim {
+
+/** Simulation time in cycles. */
+using Cycle = std::uint64_t;
+
+/** Interface for components driven by the engine's clock. */
+class Clocked
+{
+  public:
+    explicit Clocked(std::string name) : name_(std::move(name)) {}
+    virtual ~Clocked() = default;
+
+    Clocked(const Clocked &) = delete;
+    Clocked &operator=(const Clocked &) = delete;
+
+    /**
+     * Combinational phase: compute this cycle's actions from state
+     * committed in prior cycles. Must not expose new state to other
+     * components until commit().
+     */
+    virtual void evaluate(Cycle cycle) = 0;
+
+    /** Sequential phase: latch the state computed by evaluate(). */
+    virtual void commit(Cycle cycle) = 0;
+
+    /** True once the component has no further work. */
+    virtual bool done() const = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * Registered (one-cycle) communication channel between components.
+ * The producer writes during evaluate(); the consumer sees the value
+ * only after the engine calls tick() on the latch at commit time.
+ */
+template <typename T>
+class Latch
+{
+  public:
+    /** Producer side: stage a value for the next cycle. */
+    void
+    push(T v)
+    {
+        staged_ = std::move(v);
+        stagedValid_ = true;
+    }
+
+    /** Consumer side: is a value available this cycle? */
+    bool valid() const { return currentValid_; }
+
+    /** Consumer side: the value written in the previous cycle. */
+    const T &peek() const { return current_; }
+
+    /** Consumer side: consume the value (clears valid). */
+    T
+    pop()
+    {
+        currentValid_ = false;
+        return std::move(current_);
+    }
+
+    /** Advance the latch one cycle (called at commit time). */
+    void
+    tick()
+    {
+        if (stagedValid_) {
+            current_ = std::move(staged_);
+            currentValid_ = true;
+            stagedValid_ = false;
+        }
+    }
+
+    /** True when the consumer has not yet consumed the current value. */
+    bool stalled() const { return currentValid_ && stagedValid_; }
+
+  private:
+    T current_{};
+    T staged_{};
+    bool currentValid_ = false;
+    bool stagedValid_ = false;
+};
+
+/** Drives a set of Clocked components until all report done(). */
+class Engine
+{
+  public:
+    explicit Engine(std::string name) : name_(std::move(name)) {}
+
+    /** Register a component; the engine does not take ownership. */
+    void add(Clocked &component);
+
+    /**
+     * Run until every component is done or maxCycles elapse.
+     *
+     * @return Number of cycles executed.
+     * @throws FatalError if the cycle limit is reached (deadlock guard).
+     */
+    Cycle run(Cycle maxCycles = 1ULL << 40);
+
+    /** Current simulation time. */
+    Cycle now() const { return now_; }
+
+    /** Advance exactly one cycle (for fine-grained tests). */
+    void step();
+
+    /** True when every registered component is done. */
+    bool allDone() const;
+
+  private:
+    std::string name_;
+    std::vector<Clocked *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace cnv::sim
+
+#endif // CNV_SIM_ENGINE_H

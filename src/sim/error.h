@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Exception types thrown by the logging layer.
+ *
+ * Unlike gem5 (which aborts the process), this is a library: panic
+ * and fatal raise typed exceptions so embedding applications and
+ * tests can observe failures without dying. PanicError signals an
+ * internal simulator bug; FatalError signals a user/configuration
+ * error.
+ */
+
+#ifndef CNV_SIM_ERROR_H
+#define CNV_SIM_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace cnv::sim {
+
+/** Internal invariant violation — a bug in the simulator itself. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** User-facing error — bad configuration or invalid arguments. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+} // namespace cnv::sim
+
+#endif // CNV_SIM_ERROR_H

@@ -1,0 +1,83 @@
+#include "sim/logging.h"
+
+#include <iostream>
+
+#include "sim/error.h"
+
+namespace cnv::sim {
+
+namespace {
+
+Verbosity g_verbosity = Verbosity::Info;
+
+} // namespace
+
+void
+setVerbosity(Verbosity v)
+{
+    g_verbosity = v;
+}
+
+Verbosity
+verbosity()
+{
+    return g_verbosity;
+}
+
+namespace detail {
+
+void
+formatTail(std::ostringstream &os, std::string_view fmt)
+{
+    const std::size_t pos = fmt.find("{}");
+    if (pos != std::string_view::npos) {
+        // Fewer arguments than placeholders: keep the raw text so the
+        // mistake is visible in the output rather than hidden.
+        os << fmt;
+        return;
+    }
+    os << fmt;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = strfmt("panic: {} ({}:{})", msg, file, line);
+    if (g_verbosity != Verbosity::Silent)
+        std::cerr << full << '\n';
+    throw PanicError(full);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = strfmt("fatal: {} ({}:{})", msg, file, line);
+    if (g_verbosity != Verbosity::Silent)
+        std::cerr << full << '\n';
+    throw FatalError(full);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_verbosity >= Verbosity::Warnings)
+        std::cerr << "warn: " << msg << '\n';
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbosity >= Verbosity::Info)
+        std::cout << "info: " << msg << '\n';
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (g_verbosity >= Verbosity::Debug)
+        std::cout << "debug: " << msg << '\n';
+}
+
+} // namespace detail
+
+} // namespace cnv::sim

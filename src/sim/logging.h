@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Status and error reporting for the simulator, in the spirit of
+ * gem5's base/logging: panic() for internal invariant violations,
+ * fatal() for user/configuration errors, warn()/inform() for
+ * non-fatal status messages.
+ *
+ * Messages use a lightweight "{}" placeholder formatter (strfmt)
+ * since the toolchain lacks std::format.
+ */
+
+#ifndef CNV_SIM_LOGGING_H
+#define CNV_SIM_LOGGING_H
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cnv::sim {
+
+namespace detail {
+
+/** Append the literal tail of a format string, checking for stray "{}". */
+void formatTail(std::ostringstream &os, std::string_view fmt);
+
+/** Recursive driver: substitute the next "{}" with the next argument. */
+template <typename T, typename... Rest>
+void
+formatRec(std::ostringstream &os, std::string_view fmt, const T &value,
+          const Rest &...rest)
+{
+    const std::size_t pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        // More arguments than placeholders: emit the tail and append
+        // the leftovers so nothing is silently dropped.
+        os << fmt << " [extra:" << value << ']';
+        (void)std::initializer_list<int>{(os << " [extra:" << rest << ']', 0)...};
+        return;
+    }
+    os << fmt.substr(0, pos) << value;
+    if constexpr (sizeof...(rest) == 0)
+        formatTail(os, fmt.substr(pos + 2));
+    else
+        formatRec(os, fmt.substr(pos + 2), rest...);
+}
+
+} // namespace detail
+
+/**
+ * Format a string by substituting "{}" placeholders with the given
+ * arguments via operator<<.
+ *
+ * @param fmt Format string containing zero or more "{}" placeholders.
+ * @return The formatted string.
+ */
+template <typename... Args>
+std::string
+strfmt(std::string_view fmt, const Args &...args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(args) == 0)
+        detail::formatTail(os, fmt);
+    else
+        detail::formatRec(os, fmt, args...);
+    return os.str();
+}
+
+/** Verbosity levels for status messages. */
+enum class Verbosity { Silent, Warnings, Info, Debug };
+
+/** Set the global verbosity; defaults to Info. */
+void setVerbosity(Verbosity v);
+
+/** Current global verbosity. */
+Verbosity verbosity();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * panic: something happened that should never happen regardless of
+ * what the user does — an internal simulator bug. Aborts.
+ */
+#define CNV_PANIC(...)                                                      \
+    ::cnv::sim::detail::panicImpl(__FILE__, __LINE__,                       \
+                                  ::cnv::sim::strfmt(__VA_ARGS__))
+
+/**
+ * fatal: the simulation cannot continue because of a user error
+ * (bad configuration, invalid arguments). Exits with an error code.
+ */
+#define CNV_FATAL(...)                                                      \
+    ::cnv::sim::detail::fatalImpl(__FILE__, __LINE__,                       \
+                                  ::cnv::sim::strfmt(__VA_ARGS__))
+
+/** warn: functionality may not behave as the user expects. */
+#define CNV_WARN(...)                                                       \
+    ::cnv::sim::detail::warnImpl(::cnv::sim::strfmt(__VA_ARGS__))
+
+/** inform: normal operating status message. */
+#define CNV_INFORM(...)                                                     \
+    ::cnv::sim::detail::informImpl(::cnv::sim::strfmt(__VA_ARGS__))
+
+/** debug: detailed tracing, only shown at Verbosity::Debug. */
+#define CNV_DEBUG(...)                                                      \
+    ::cnv::sim::detail::debugImpl(::cnv::sim::strfmt(__VA_ARGS__))
+
+/** Assert an internal invariant; panics with a message on failure. */
+#define CNV_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            CNV_PANIC("assertion failed: " #cond " — " __VA_ARGS__);        \
+    } while (0)
+
+} // namespace cnv::sim
+
+#endif // CNV_SIM_LOGGING_H

@@ -1,0 +1,162 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.h"
+
+namespace cnv::sim {
+
+void
+Distribution::sample(double x)
+{
+    ++count_;
+    sum_ += x;
+    sumSq_ += x * x;
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+template <typename T, typename... Args>
+T &
+StatGroup::add(Args &&...args)
+{
+    auto stat = std::make_unique<T>(std::forward<Args>(args)...);
+    for (const auto &existing : stats_) {
+        if (existing->name() == stat->name())
+            CNV_FATAL("duplicate statistic '{}' in group '{}'",
+                      stat->name(), name_);
+    }
+    T &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    return add<Counter>(name, desc);
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    return add<Scalar>(name, desc);
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    return add<Formula>(name, desc, std::move(fn));
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name, const std::string &desc)
+{
+    return add<Distribution>(name, desc);
+}
+
+StatGroup &
+StatGroup::addGroup(const std::string &name)
+{
+    for (const auto &existing : groups_) {
+        if (existing->name() == name)
+            CNV_FATAL("duplicate stat group '{}' in group '{}'", name, name_);
+    }
+    groups_.push_back(std::make_unique<StatGroup>(name));
+    return *groups_.back();
+}
+
+const Stat *
+StatGroup::find(const std::string &path) const
+{
+    const std::size_t dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &stat : stats_) {
+            if (stat->name() == path)
+                return stat.get();
+        }
+        return nullptr;
+    }
+    const std::string head = path.substr(0, dot);
+    const std::string tail = path.substr(dot + 1);
+    for (const auto &group : groups_) {
+        if (group->name() == head)
+            return group->find(tail);
+    }
+    return nullptr;
+}
+
+double
+StatGroup::get(const std::string &path) const
+{
+    const Stat *stat = find(path);
+    if (!stat)
+        CNV_FATAL("unknown statistic '{}' in group '{}'", path, name_);
+    return stat->value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &stat : stats_)
+        stat->reset();
+    for (auto &group : groups_)
+        group->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &stat : stats_) {
+        os << std::left << std::setw(48) << (base + "." + stat->name())
+           << ' ' << std::setw(16) << stat->value()
+           << " # " << stat->desc() << '\n';
+    }
+    for (const auto &group : groups_)
+        group->dump(os, base);
+}
+
+void
+StatGroup::visit(const std::function<void(const std::string &,
+                                          const Stat &)> &fn,
+                 const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &stat : stats_)
+        fn(base + "." + stat->name(), *stat);
+    for (const auto &group : groups_)
+        group->visit(fn, base);
+}
+
+} // namespace cnv::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small fixed-column text-table writer used by benches and examples
+ * to print paper-style rows (and optional CSV) without pulling in a
+ * formatting dependency.
+ */
+
+#ifndef CNV_SIM_TABLE_H
+#define CNV_SIM_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cnv::sim {
+
+/** Accumulates rows of strings and prints an aligned text table. */
+class Table
+{
+  public:
+    /** @param headers Column titles, printed first with a rule below. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string intNum(std::uint64_t v);
+
+    /** Format v as a percentage with one decimal ("44.3%"). */
+    static std::string pct(double v);
+
+    /** Print the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (for downstream plotting). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cnv::sim
+
+#endif // CNV_SIM_TABLE_H

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * 16-bit fixed-point arithmetic as used by the DaDianNao and CNV
+ * datapaths (Section IV-A: 16-bit fixed-point neurons and synapses).
+ *
+ * Values are stored as raw two's-complement int16 with an implied
+ * binary point: Q7.8 (1 sign bit, 7 integer bits, 8 fraction bits).
+ * Products are formed exactly in 32 bits; the adder trees accumulate
+ * in a wide (64-bit) accumulator, and conversion back to Fixed16
+ * saturates — matching a hardware datapath that never wraps silently.
+ *
+ * The per-layer pruning thresholds of Section V-E (Table II: 2, 4,
+ * 8, ..., 256) are expressed in raw fixed-point units, i.e., a
+ * threshold of 8 prunes |value| < 8/256 = 0.03125.
+ */
+
+#ifndef CNV_TENSOR_FIXED16_H
+#define CNV_TENSOR_FIXED16_H
+
+#include <cstdint>
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace cnv::tensor {
+
+/** Wide accumulator type used by the adder-tree model. */
+using Accum = std::int64_t;
+
+/** 16-bit Q7.8 fixed-point number. */
+class Fixed16
+{
+  public:
+    /** Number of fraction bits in the Q format. */
+    static constexpr int fracBits = 8;
+    /** Scale factor: 1.0 == kOne raw units. */
+    static constexpr std::int32_t kOne = 1 << fracBits;
+    /** Raw range limits. */
+    static constexpr std::int32_t kRawMax = 32767;
+    static constexpr std::int32_t kRawMin = -32768;
+
+    constexpr Fixed16() = default;
+
+    /** Construct from a raw two's-complement bit pattern. */
+    static constexpr Fixed16
+    fromRaw(std::int16_t raw)
+    {
+        Fixed16 f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    /** Construct from a real value, rounding to nearest and saturating. */
+    static Fixed16
+    fromDouble(double v)
+    {
+        double scaled = v * kOne;
+        scaled = std::nearbyint(scaled);
+        if (scaled > kRawMax)
+            scaled = kRawMax;
+        if (scaled < kRawMin)
+            scaled = kRawMin;
+        return fromRaw(static_cast<std::int16_t>(scaled));
+    }
+
+    /** Saturating conversion from a wide accumulator in raw units. */
+    static constexpr Fixed16
+    saturateFromRaw(Accum raw)
+    {
+        if (raw > kRawMax)
+            raw = kRawMax;
+        if (raw < kRawMin)
+            raw = kRawMin;
+        return fromRaw(static_cast<std::int16_t>(raw));
+    }
+
+    constexpr std::int16_t raw() const { return raw_; }
+    constexpr bool isZero() const { return raw_ == 0; }
+
+    double toDouble() const { return static_cast<double>(raw_) / kOne; }
+
+    /** |raw| as a 32-bit value (|kRawMin| overflows int16). */
+    constexpr std::int32_t
+    rawAbs() const
+    {
+        const std::int32_t v = raw_;
+        return v < 0 ? -v : v;
+    }
+
+    /**
+     * Exact product in raw accumulator units. Two Q7.8 operands give
+     * a Q14.16 product; the adder tree keeps full precision and the
+     * final requantisation divides by kOne (see productToFixed).
+     */
+    friend constexpr Accum
+    mulRaw(Fixed16 a, Fixed16 b)
+    {
+        return static_cast<Accum>(a.raw_) * static_cast<Accum>(b.raw_);
+    }
+
+    /** Requantise a sum of raw products back to Q7.8 (round, saturate). */
+    static constexpr Fixed16
+    productToFixed(Accum sumOfProducts)
+    {
+        // Round to nearest: add half an output LSB (in product units)
+        // before the arithmetic shift, mirroring the datapath rounder.
+        const Accum half = kOne / 2;
+        const Accum adjusted =
+            sumOfProducts >= 0 ? sumOfProducts + half : sumOfProducts - half;
+        return saturateFromRaw(adjusted / kOne);
+    }
+
+    /** Saturating addition (used by bias add). */
+    friend Fixed16
+    operator+(Fixed16 a, Fixed16 b)
+    {
+        return saturateFromRaw(static_cast<Accum>(a.raw_) + b.raw_);
+    }
+
+    friend Fixed16
+    operator-(Fixed16 a, Fixed16 b)
+    {
+        return saturateFromRaw(static_cast<Accum>(a.raw_) - b.raw_);
+    }
+
+    friend constexpr bool operator==(Fixed16 a, Fixed16 b) = default;
+    friend constexpr auto
+    operator<=>(Fixed16 a, Fixed16 b)
+    {
+        return a.raw_ <=> b.raw_;
+    }
+
+    /** ReLU: negative values become exactly zero (Section II). */
+    constexpr Fixed16
+    relu() const
+    {
+        return raw_ < 0 ? Fixed16{} : *this;
+    }
+
+    friend std::ostream &
+    operator<<(std::ostream &os, Fixed16 f)
+    {
+        return os << f.toDouble();
+    }
+
+  private:
+    std::int16_t raw_ = 0;
+};
+
+} // namespace cnv::tensor
+
+#endif // CNV_TENSOR_FIXED16_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Concrete tensor aliases used throughout the simulator, plus small
+ * analysis helpers over neuron arrays.
+ */
+
+#ifndef CNV_TENSOR_NEURON_TENSOR_H
+#define CNV_TENSOR_NEURON_TENSOR_H
+
+#include "tensor/fixed16.h"
+#include "tensor/tensor.h"
+
+namespace cnv::tensor {
+
+/** A 3D array of 16-bit fixed-point neurons (inputs/outputs of layers). */
+using NeuronTensor = Tensor3<Fixed16>;
+
+/** A bank of N 3D filters of 16-bit fixed-point synapses. */
+using FilterBank = Tensor4<Fixed16>;
+
+/** Fraction of elements that are exactly zero. */
+double zeroFraction(const NeuronTensor &t);
+
+/** Number of non-zero elements. */
+std::size_t countNonZero(const NeuronTensor &t);
+
+/** Largest elementwise |a - b| in real units. */
+double maxAbsDifference(const NeuronTensor &a, const NeuronTensor &b);
+
+} // namespace cnv::tensor
+
+#endif // CNV_TENSOR_NEURON_TENSOR_H

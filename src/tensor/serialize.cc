@@ -1,0 +1,144 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "sim/logging.h"
+
+namespace cnv::tensor {
+
+namespace {
+
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        CNV_FATAL("truncated tensor stream");
+    return v;
+}
+
+void
+writeMagic(std::ostream &os, const char magic[4])
+{
+    os.write(magic, 4);
+}
+
+void
+expectMagic(std::istream &is, const char magic[4])
+{
+    char buf[4] = {};
+    is.read(buf, 4);
+    if (!is || std::memcmp(buf, magic, 4) != 0)
+        CNV_FATAL("bad magic in tensor stream (expected {})",
+                  std::string(magic, 4));
+    const std::uint32_t version = readU32(is);
+    if (version != kVersion)
+        CNV_FATAL("unsupported tensor stream version {}", version);
+}
+
+void
+writeRaw(std::ostream &os, const Fixed16 *data, std::size_t count)
+{
+    static_assert(sizeof(Fixed16) == sizeof(std::int16_t));
+    os.write(reinterpret_cast<const char *>(data),
+             static_cast<std::streamsize>(count * sizeof(Fixed16)));
+    if (!os)
+        CNV_FATAL("tensor write failed");
+}
+
+void
+readRaw(std::istream &is, Fixed16 *data, std::size_t count)
+{
+    is.read(reinterpret_cast<char *>(data),
+            static_cast<std::streamsize>(count * sizeof(Fixed16)));
+    if (!is)
+        CNV_FATAL("truncated tensor stream");
+}
+
+} // namespace
+
+void
+save(std::ostream &os, const NeuronTensor &t)
+{
+    writeMagic(os, "CNVT");
+    writeU32(os, kVersion);
+    writeU32(os, static_cast<std::uint32_t>(t.shape().x));
+    writeU32(os, static_cast<std::uint32_t>(t.shape().y));
+    writeU32(os, static_cast<std::uint32_t>(t.shape().z));
+    writeRaw(os, t.data(), t.size());
+}
+
+NeuronTensor
+loadTensor(std::istream &is)
+{
+    expectMagic(is, "CNVT");
+    const int x = static_cast<int>(readU32(is));
+    const int y = static_cast<int>(readU32(is));
+    const int z = static_cast<int>(readU32(is));
+    if (x < 0 || y < 0 || z < 0 ||
+        static_cast<std::uint64_t>(x) * y * z > (1ULL << 32))
+        CNV_FATAL("implausible tensor dimensions {}x{}x{}", x, y, z);
+    NeuronTensor t(x, y, z);
+    readRaw(is, t.data(), t.size());
+    return t;
+}
+
+void
+save(std::ostream &os, const FilterBank &f)
+{
+    writeMagic(os, "CNVF");
+    writeU32(os, kVersion);
+    writeU32(os, static_cast<std::uint32_t>(f.shape().n));
+    writeU32(os, static_cast<std::uint32_t>(f.shape().x));
+    writeU32(os, static_cast<std::uint32_t>(f.shape().y));
+    writeU32(os, static_cast<std::uint32_t>(f.shape().z));
+    writeRaw(os, f.data(), f.size());
+}
+
+FilterBank
+loadFilterBank(std::istream &is)
+{
+    expectMagic(is, "CNVF");
+    const int n = static_cast<int>(readU32(is));
+    const int x = static_cast<int>(readU32(is));
+    const int y = static_cast<int>(readU32(is));
+    const int z = static_cast<int>(readU32(is));
+    if (n < 0 || x < 0 || y < 0 || z < 0 ||
+        static_cast<std::uint64_t>(n) * x * y * z > (1ULL << 32))
+        CNV_FATAL("implausible filter dimensions");
+    FilterBank f(n, x, y, z);
+    readRaw(is, f.data(), f.size());
+    return f;
+}
+
+void
+saveTensorFile(const std::string &path, const NeuronTensor &t)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        CNV_FATAL("cannot open '{}' for writing", path);
+    save(os, t);
+}
+
+NeuronTensor
+loadTensorFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        CNV_FATAL("cannot open '{}' for reading", path);
+    return loadTensor(is);
+}
+
+} // namespace cnv::tensor

@@ -1,0 +1,47 @@
+#include "tensor/tensor.h"
+
+#include "tensor/fixed16.h"
+#include "tensor/neuron_tensor.h"
+
+namespace cnv::tensor {
+
+double
+zeroFraction(const NeuronTensor &t)
+{
+    if (t.size() == 0)
+        return 0.0;
+    std::size_t zeros = 0;
+    for (const Fixed16 v : t) {
+        if (v.isZero())
+            ++zeros;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(t.size());
+}
+
+std::size_t
+countNonZero(const NeuronTensor &t)
+{
+    std::size_t nz = 0;
+    for (const Fixed16 v : t) {
+        if (!v.isZero())
+            ++nz;
+    }
+    return nz;
+}
+
+double
+maxAbsDifference(const NeuronTensor &a, const NeuronTensor &b)
+{
+    CNV_ASSERT(a.shape() == b.shape(), "shape mismatch in comparison");
+    double worst = 0.0;
+    const Fixed16 *pa = a.data();
+    const Fixed16 *pb = b.data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = std::abs(pa[i].toDouble() - pb[i].toDouble());
+        if (d > worst)
+            worst = d;
+    }
+    return worst;
+}
+
+} // namespace cnv::tensor

@@ -1,0 +1,265 @@
+#include "timing/conv_model.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "core/assignment.h"
+#include "sim/logging.h"
+
+namespace cnv::timing {
+
+using dadiannao::LayerResult;
+using dadiannao::NodeConfig;
+using tensor::Shape3;
+
+namespace {
+
+/**
+ * wx[x] = number of (window, filter-cell) pairs along one dimension
+ * that read input coordinate x — i.e., how many windows cover x with
+ * a valid (non-padding) cell.
+ */
+std::vector<std::uint32_t>
+coverage1d(int inDim, int outDim, int f, int stride, int pad)
+{
+    std::vector<std::uint32_t> w(static_cast<std::size_t>(inDim), 0);
+    for (int o = 0; o < outDim; ++o) {
+        for (int k = 0; k < f; ++k) {
+            const int x = o * stride - pad + k;
+            if (x >= 0 && x < inDim)
+                ++w[x];
+        }
+    }
+    return w;
+}
+
+} // namespace
+
+LayerResult
+convBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
+             const Shape3 &inShape, const CountMap &counts, bool isConv1)
+{
+    const Shape3 outShape = p.outputShape(inShape);
+    const int lanes = cfg.lanes;
+    const int depthPerGroup = inShape.z / p.groups;
+    const int filtersPerGroup = p.filters / p.groups;
+    const int parallel = cfg.parallelFilters();
+
+    LayerResult r;
+    r.name = "conv";
+
+    const auto wx = coverage1d(inShape.x, outShape.x, p.fx, p.stride, p.pad);
+    const auto wy = coverage1d(inShape.y, outShape.y, p.fy, p.stride, p.pad);
+
+    // Valid cells per window, summed over all windows (separable).
+    std::uint64_t ax = 0, ay = 0;
+    for (auto v : wx)
+        ax += v;
+    for (auto v : wy)
+        ay += v;
+    const std::uint64_t validCells = ax * ay;
+    const std::uint64_t units = cfg.units;
+
+    // Shallow inputs pack fetch blocks across window rows (see
+    // dadiannao/nfu.cc); blocks per window row depend only on ox.
+    const bool packedRows = depthPerGroup < lanes && p.groups == 1;
+    std::uint64_t packedRowBlocks = 0;
+    if (packedRows) {
+        for (int ox = 0; ox < outShape.x; ++ox) {
+            const int x0 = ox * p.stride - p.pad;
+            const int xs = std::max(x0, 0);
+            const int xe = std::min(x0 + p.fx, inShape.x);
+            if (xe <= xs)
+                continue;
+            const int s0 = xs * depthPerGroup;
+            const int s1 = xe * depthPerGroup;
+            packedRowBlocks += static_cast<std::uint64_t>(
+                (s1 - 1) / lanes - s0 / lanes + 1);
+        }
+    }
+
+    for (int g = 0; g < p.groups; ++g) {
+        const int brickBase = (g * depthPerGroup) / cfg.brickSize;
+        const int bricksPerCell =
+            (depthPerGroup + cfg.brickSize - 1) / cfg.brickSize;
+        if (p.groups > 1 && (g * depthPerGroup) % cfg.brickSize != 0)
+            CNV_FATAL("group depth must be brick aligned");
+
+        // Coverage-weighted non-zero neurons in this group's slice.
+        std::uint64_t coveredNz = 0;
+        for (int y = 0; y < inShape.y; ++y) {
+            for (int x = 0; x < inShape.x; ++x) {
+                std::uint64_t nz = 0;
+                for (int b = 0; b < bricksPerCell; ++b)
+                    nz += counts.at(x, y, brickBase + b);
+                coveredNz += nz * wx[x] * wy[y];
+            }
+        }
+
+        const std::uint64_t groupCycles = packedRows
+            ? ay * packedRowBlocks
+            : validCells * static_cast<std::uint64_t>(bricksPerCell);
+        // Every lane slot of every cycle is an event; slots not
+        // holding a covered non-zero neuron (depth tail padding or,
+        // for packed rows, neighbouring-column data) count as zero.
+        const std::uint64_t coveredSlots = groupCycles * lanes;
+        const std::uint64_t coveredZero = coveredSlots - coveredNz;
+
+        const int passes = (filtersPerGroup + parallel - 1) / parallel;
+        for (int pass = 0; pass < passes; ++pass) {
+            const int fCount =
+                std::min(parallel, filtersPerGroup - pass * parallel);
+            const int activeUnits =
+                (fCount + cfg.filtersPerUnit - 1) / cfg.filtersPerUnit;
+            const std::uint64_t passCycles = groupCycles;
+
+            r.cycles += passCycles;
+            if (isConv1) {
+                r.activity.conv1 += coveredSlots * units;
+            } else {
+                r.activity.zero += coveredZero * units;
+                r.activity.nonZero += coveredNz * units;
+            }
+            r.energy.nmReads += passCycles;
+            r.energy.nbinWrites += passCycles * lanes * units;
+            r.energy.nbinReads += passCycles * lanes * units;
+            r.energy.sbReads += passCycles * lanes * activeUnits;
+            r.energy.multOps += passCycles * lanes * fCount;
+            r.energy.addOps += passCycles * lanes * fCount;
+        }
+    }
+
+    const std::uint64_t windows =
+        static_cast<std::uint64_t>(outShape.x) * outShape.y;
+    r.energy.nmWrites += windows * ((p.filters + lanes - 1) / lanes);
+    return r;
+}
+
+LayerResult
+convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
+        const Shape3 &inShape, const CountMap &counts)
+{
+    const Shape3 outShape = p.outputShape(inShape);
+    const int lanes = cfg.lanes;
+    CNV_ASSERT(lanes == cfg.brickSize, "CNV needs one lane per brick slot");
+    const int depthPerGroup = inShape.z / p.groups;
+    const int filtersPerGroup = p.filters / p.groups;
+    const int parallel = cfg.parallelFilters();
+    const std::uint64_t units = cfg.units;
+
+    LayerResult r;
+    r.name = "conv(cnv)";
+
+    for (int g = 0; g < p.groups; ++g) {
+        if (p.groups > 1 && (g * depthPerGroup) % cfg.brickSize != 0)
+            CNV_FATAL("group depth must be brick aligned");
+        const int brickBase = (g * depthPerGroup) / cfg.brickSize;
+        const int bricksPerCell =
+            (depthPerGroup + cfg.brickSize - 1) / cfg.brickSize;
+
+        // Per-column, per-brick lane costs and non-zero totals.
+        const std::size_t cols =
+            static_cast<std::size_t>(inShape.x) * inShape.y;
+        std::vector<std::uint8_t> brickCost(
+            cols * static_cast<std::size_t>(bricksPerCell), 0);
+        std::vector<std::uint32_t> nzCol(cols, 0);
+        for (int y = 0; y < inShape.y; ++y) {
+            for (int x = 0; x < inShape.x; ++x) {
+                const std::size_t c =
+                    static_cast<std::size_t>(y) * inShape.x + x;
+                std::uint8_t *bc = brickCost.data() + c * bricksPerCell;
+                for (int b = 0; b < bricksPerCell; ++b) {
+                    const std::uint32_t nz = counts.at(x, y, brickBase + b);
+                    if (nz == 0) {
+                        bc[b] = cfg.emptyBrickCostsCycle ? 1 : 0;
+                    } else {
+                        bc[b] = static_cast<std::uint8_t>(nz);
+                        nzCol[c] += nz;
+                    }
+                }
+            }
+        }
+
+        const int passes = (filtersPerGroup + parallel - 1) / parallel;
+
+        std::array<std::uint64_t, 64> laneTime{};
+        CNV_ASSERT(lanes <= 64, "lane count above model limit");
+
+        // Windows are processed in row-major groups of up to
+        // windowsInFlight(); lanes synchronise at group boundaries.
+        const int inFlight = cfg.windowsInFlight();
+        const std::int64_t totalWindows =
+            static_cast<std::int64_t>(outShape.x) * outShape.y;
+
+        for (std::int64_t w0 = 0; w0 < totalWindows; w0 += inFlight) {
+            const int batch = static_cast<int>(
+                std::min<std::int64_t>(inFlight, totalWindows - w0));
+
+            laneTime.fill(0);
+            std::uint64_t nzBatch = 0;
+            std::uint64_t cells = 0;
+            int windowSeq = 0;
+            for (int w = 0; w < batch; ++w) {
+                const int ox = static_cast<int>((w0 + w) % outShape.x);
+                const int oy = static_cast<int>((w0 + w) / outShape.x);
+                const int x0 = ox * p.stride - p.pad;
+                const int y0 = oy * p.stride - p.pad;
+                for (int ky = 0; ky < p.fy; ++ky) {
+                    const int iy = y0 + ky;
+                    if (iy < 0 || iy >= inShape.y)
+                        continue;
+                    for (int kx = 0; kx < p.fx; ++kx) {
+                        const int ix = x0 + kx;
+                        if (ix < 0 || ix >= inShape.x)
+                            continue;
+                        ++cells;
+                        const std::size_t c =
+                            static_cast<std::size_t>(iy) * inShape.x + ix;
+                        const std::uint8_t *bc =
+                            brickCost.data() + c * bricksPerCell;
+                        for (int b = 0; b < bricksPerCell; ++b) {
+                            const int lane = core::laneOf(
+                                cfg.laneAssignment, ix, iy, brickBase + b,
+                                windowSeq++, lanes);
+                            laneTime[lane] += bc[b];
+                        }
+                        nzBatch += nzCol[c];
+                    }
+                }
+            }
+
+            std::uint64_t groupCycles = 0;
+            for (int l = 0; l < lanes; ++l)
+                groupCycles = std::max(groupCycles, laneTime[l]);
+
+            for (int pass = 0; pass < passes; ++pass) {
+                const int fCount = std::min(
+                    parallel, filtersPerGroup - pass * parallel);
+                const int activeUnits =
+                    (fCount + cfg.filtersPerUnit - 1) /
+                    cfg.filtersPerUnit;
+
+                r.cycles += groupCycles;
+                r.activity.nonZero += nzBatch * units;
+                r.activity.stall +=
+                    (groupCycles * lanes - nzBatch) * units;
+                r.energy.nmReads +=
+                    cells * static_cast<std::uint64_t>(bricksPerCell);
+                r.energy.nbinWrites += nzBatch * units;
+                r.energy.nbinReads += nzBatch * units;
+                r.energy.sbReads += nzBatch * activeUnits;
+                r.energy.multOps += nzBatch * fCount;
+                r.energy.addOps += nzBatch * fCount;
+            }
+        }
+    }
+
+    const std::uint64_t windows =
+        static_cast<std::uint64_t>(outShape.x) * outShape.y;
+    r.energy.nmWrites += windows * ((p.filters + lanes - 1) / lanes);
+    r.energy.encoderOps += windows * static_cast<std::uint64_t>(p.filters);
+    return r;
+}
+
+} // namespace cnv::timing

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Closed-form per-layer timing/activity models for both
+ * architectures.
+ *
+ * These consume only layer geometry plus a per-brick non-zero count
+ * map of the layer's input, and produce exactly the same cycle
+ * counts, activity events, and energy counters as the cycle-level
+ * models in dadiannao/nfu.* and core/unit.* (property tests enforce
+ * bit-exact agreement on randomized layers). They exist so that
+ * full-network experiments and pruning sweeps run in seconds
+ * instead of hours; every experiment can be spot-checked against
+ * the detailed models.
+ */
+
+#ifndef CNV_TIMING_CONV_MODEL_H
+#define CNV_TIMING_CONV_MODEL_H
+
+#include <cstdint>
+
+#include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace cnv::timing {
+
+/** Per-brick non-zero counts of a layer input (x, y, depth-brick). */
+using CountMap = tensor::Tensor3<std::uint8_t>;
+
+/**
+ * Baseline (DaDianNao) conv layer timing.
+ *
+ * @param cfg Node configuration.
+ * @param p Conv parameters.
+ * @param inShape Input array shape.
+ * @param counts Per-brick non-zero counts of the input.
+ * @param isConv1 Account all processing as the conv1 category.
+ */
+dadiannao::LayerResult convBaseline(const dadiannao::NodeConfig &cfg,
+                                    const nn::ConvParams &p,
+                                    const tensor::Shape3 &inShape,
+                                    const CountMap &counts, bool isConv1);
+
+/** CNV conv layer timing in encoded (zero-skipping) mode. */
+dadiannao::LayerResult convCnv(const dadiannao::NodeConfig &cfg,
+                               const nn::ConvParams &p,
+                               const tensor::Shape3 &inShape,
+                               const CountMap &counts);
+
+} // namespace cnv::timing
+
+#endif // CNV_TIMING_CONV_MODEL_H

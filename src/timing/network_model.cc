@@ -1,0 +1,225 @@
+#include "timing/network_model.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "dadiannao/other_layers.h"
+#include "nn/trace.h"
+#include "sim/logging.h"
+#include "tensor/serialize.h"
+#include "timing/conv_model.h"
+#include "zfnaf/format.h"
+
+namespace cnv::timing {
+
+using dadiannao::LayerResult;
+using dadiannao::NetworkResult;
+using dadiannao::NodeConfig;
+using dadiannao::OverlapTracker;
+
+const char *
+archName(Arch a)
+{
+    return a == Arch::Baseline ? "dadiannao" : "cnv";
+}
+
+std::string
+DirectoryTraceProvider::pathFor(const nn::Network &net, int convNodeId,
+                                std::uint64_t imageSeed) const
+{
+    return sim::strfmt("{}/{}_conv{}_img{}.cnvt", dir_, net.name(),
+                       net.node(convNodeId).convIndex, imageSeed);
+}
+
+std::optional<tensor::NeuronTensor>
+DirectoryTraceProvider::convInput(const nn::Network &net, int convNodeId,
+                                  std::uint64_t imageSeed) const
+{
+    const std::string path = pathFor(net, convNodeId, imageSeed);
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    tensor::NeuronTensor t = tensor::loadTensor(is);
+    if (t.shape() != net.node(convNodeId).inShape) {
+        CNV_FATAL("trace '{}' has shape {}x{}x{}, layer expects {}x{}x{}",
+                  path, t.shape().x, t.shape().y, t.shape().z,
+                  net.node(convNodeId).inShape.x,
+                  net.node(convNodeId).inShape.y,
+                  net.node(convNodeId).inShape.z);
+    }
+    return t;
+}
+
+namespace {
+
+/**
+ * Zero fraction of a fully-connected layer's input: the calibrated
+ * post-activation target of the nearest upstream conv (through
+ * pool/LRN/concat/FC-ReLU chains), or 0 when fed by raw data.
+ */
+double
+fcInputZeroFraction(const nn::Network &net, int nodeId)
+{
+    int id = net.node(nodeId).inputs.empty()
+        ? -1 : net.node(nodeId).inputs[0];
+    while (id >= 0) {
+        const nn::Node &n = net.node(id);
+        if (n.kind == nn::NodeKind::Conv)
+            return n.outputZeroTarget;
+        if (n.kind == nn::NodeKind::Fc)
+            return n.outputZeroTarget > 0 ? n.outputZeroTarget : 0.5;
+        if (n.inputs.empty())
+            return 0.0;
+        id = n.inputs[0];
+    }
+    return 0.0;
+}
+
+/**
+ * Extension: CNV-style zero skipping applied to a fully-connected
+ * layer. Both the datapath work and the off-chip synapse stream
+ * shrink by the input's non-zero fraction (a zero activation's
+ * synapse column is never fetched).
+ */
+dadiannao::LayerResult
+fcCnvTiming(const dadiannao::NodeConfig &cfg, const nn::Node &node,
+            double zeroFraction, dadiannao::OverlapTracker &overlap)
+{
+    using dadiannao::LayerResult;
+    LayerResult r;
+    r.name = node.name + "(cnv-fc)";
+    const double nzFrac = 1.0 - std::clamp(zeroFraction, 0.0, 1.0);
+    const std::uint64_t volume = node.inShape.volume();
+    const auto nzVolume = static_cast<std::uint64_t>(
+        static_cast<double>(volume) * nzFrac + 0.5);
+
+    const std::uint64_t passes =
+        (node.fc.outputs + cfg.parallelFilters() - 1) /
+        cfg.parallelFilters();
+    const std::uint64_t compute =
+        passes * ((nzVolume + cfg.lanes - 1) / cfg.lanes);
+    const std::uint64_t bytes = static_cast<std::uint64_t>(
+        static_cast<double>(node.synapses() * 2) * nzFrac + 0.5);
+    r.energy.offchipBytes += bytes;
+    const std::uint64_t load =
+        (bytes + cfg.offchipBytesPerCycle - 1) / cfg.offchipBytesPerCycle;
+    const std::uint64_t exposed = overlap.expose(load);
+    r.cycles = std::max(compute, exposed);
+    r.activity.other =
+        r.cycles * static_cast<std::uint64_t>(cfg.nodeLanes());
+    r.energy.sbReads += bytes / 32; // 16-synapse (32-byte) fetches
+    r.energy.multOps += static_cast<std::uint64_t>(
+        static_cast<double>(node.fc.macs(node.inShape)) * nzFrac);
+    r.energy.addOps = r.energy.multOps;
+    r.energy.nmReads += nzVolume * passes / cfg.lanes;
+    overlap.deposit(r.cycles);
+    return r;
+}
+
+} // namespace
+
+NetworkResult
+simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
+                const RunOptions &opts)
+{
+    cfg.validate();
+
+    NetworkResult result;
+    result.network = net.name();
+    result.architecture = archName(arch);
+
+    OverlapTracker overlap;
+
+    for (int id = 0; id < net.nodeCount(); ++id) {
+        const nn::Node &n = net.node(id);
+        switch (n.kind) {
+          case nn::NodeKind::Input:
+            break;
+          case nn::NodeKind::Conv: {
+            LayerResult loadStall;
+            loadStall.name = n.name + ":synapse-load";
+            loadStall.cycles = dadiannao::convSynapseLoadCycles(
+                cfg, n, overlap, loadStall.energy);
+            loadStall.activity.other =
+                loadStall.cycles *
+                static_cast<std::uint64_t>(cfg.nodeLanes());
+            if (loadStall.cycles > 0)
+                result.layers.push_back(loadStall);
+
+            // The baseline's cycle count is content-independent, but
+            // its zero/non-zero activity split is not, so both
+            // architectures consume the same trace (external when a
+            // provider supplies one, synthetic otherwise).
+            tensor::NeuronTensor in;
+            std::optional<tensor::NeuronTensor> external;
+            if (opts.traces)
+                external = opts.traces->convInput(net, id, opts.imageSeed);
+            if (external) {
+                in = std::move(*external);
+                if (arch == Arch::Cnv && opts.prune)
+                    nn::applyPruneToConvInput(net, id, in, *opts.prune);
+            } else {
+                in = nn::synthesizeConvInput(
+                    net, id, opts.imageSeed,
+                    arch == Arch::Cnv ? opts.prune : nullptr);
+            }
+            const CountMap counts =
+                zfnaf::nonZeroCountMap(in, cfg.brickSize);
+
+            LayerResult conv;
+            if (arch == Arch::Baseline || n.convIndex == 0) {
+                conv = convBaseline(cfg, n.conv, n.inShape, counts,
+                                    n.convIndex == 0);
+            } else if (cfg.layerModePolicy ==
+                       dadiannao::LayerModePolicy::Profitable) {
+                // Software sets the per-layer encoded/conventional
+                // flag; with the profitable policy it picks the
+                // cheaper of the two (estimable from the encoder's
+                // non-zero counts of the previous layer).
+                LayerResult encoded =
+                    convCnv(cfg, n.conv, n.inShape, counts);
+                LayerResult conventional =
+                    convBaseline(cfg, n.conv, n.inShape, counts, false);
+                conv = encoded.cycles <= conventional.cycles
+                    ? std::move(encoded) : std::move(conventional);
+            } else {
+                conv = convCnv(cfg, n.conv, n.inShape, counts);
+            }
+            conv.name = n.name;
+            overlap.deposit(conv.cycles);
+            result.layers.push_back(conv);
+            break;
+          }
+          case nn::NodeKind::Fc:
+            if (arch == Arch::Cnv && cfg.cnvSkipsFcLayers) {
+                result.layers.push_back(fcCnvTiming(
+                    cfg, n, fcInputZeroFraction(net, id), overlap));
+                break;
+            }
+            [[fallthrough]];
+          default:
+            result.layers.push_back(
+                dadiannao::otherLayerTiming(cfg, n, overlap));
+            break;
+        }
+    }
+    return result;
+}
+
+double
+speedup(const NodeConfig &cfg, const nn::Network &net, int images,
+        std::uint64_t seedBase, const nn::PruneConfig *prune)
+{
+    CNV_ASSERT(images > 0, "need at least one image");
+    std::uint64_t base = 0, cnvCycles = 0;
+    for (int i = 0; i < images; ++i) {
+        RunOptions opts;
+        opts.imageSeed = seedBase + static_cast<std::uint64_t>(i);
+        opts.prune = prune;
+        base += simulateNetwork(cfg, net, Arch::Baseline, opts).totalCycles();
+        cnvCycles += simulateNetwork(cfg, net, Arch::Cnv, opts).totalCycles();
+    }
+    return static_cast<double>(base) / static_cast<double>(cnvCycles);
+}
+
+} // namespace cnv::timing

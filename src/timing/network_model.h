@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fast whole-network timing: runs a network's geometry over
+ * synthesized activation traces using the closed-form conv models,
+ * producing the same NetworkResult schema as the functional node
+ * models. This is the path the paper-scale experiments use (full
+ * 224x224 geometries, many images, threshold sweeps).
+ */
+
+#ifndef CNV_TIMING_NETWORK_MODEL_H
+#define CNV_TIMING_NETWORK_MODEL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
+#include "nn/network.h"
+
+namespace cnv::timing {
+
+/** Which architecture to model. */
+enum class Arch { Baseline, Cnv };
+
+const char *archName(Arch a);
+
+/**
+ * Source of per-layer input activation traces. The default
+ * (synthetic, calibrated) generator is used wherever a provider
+ * returns nothing — so real traces exported from an actual
+ * framework run can replace the synthetic substitution layer by
+ * layer (see DirectoryTraceProvider and `cnvsim export-traces`).
+ */
+class TraceProvider
+{
+  public:
+    virtual ~TraceProvider() = default;
+
+    /**
+     * The *unpruned* input tensor of one conv layer for one image,
+     * or std::nullopt to fall back to the synthetic generator.
+     * Pruning thresholds are applied by the caller.
+     */
+    virtual std::optional<tensor::NeuronTensor>
+    convInput(const nn::Network &net, int convNodeId,
+              std::uint64_t imageSeed) const = 0;
+};
+
+/**
+ * Loads traces from `<dir>/<network>_conv<index>_img<seed>.cnvt`
+ * files written with tensor::saveTensorFile; missing files fall
+ * back to synthesis.
+ */
+class DirectoryTraceProvider : public TraceProvider
+{
+  public:
+    explicit DirectoryTraceProvider(std::string dir)
+        : dir_(std::move(dir))
+    {
+    }
+
+    std::optional<tensor::NeuronTensor>
+    convInput(const nn::Network &net, int convNodeId,
+              std::uint64_t imageSeed) const override;
+
+    /** The path a given layer trace is looked up at. */
+    std::string pathFor(const nn::Network &net, int convNodeId,
+                        std::uint64_t imageSeed) const;
+
+  private:
+    std::string dir_;
+};
+
+/** Options for a trace-driven network timing run. */
+struct RunOptions
+{
+    /** Seed identifying the "image" (trace instance). */
+    std::uint64_t imageSeed = 1;
+    /**
+     * Dynamic pruning thresholds (CNV only; the baseline has no
+     * encoder and always sees unpruned values).
+     */
+    const nn::PruneConfig *prune = nullptr;
+    /** Optional external activation traces. */
+    const TraceProvider *traces = nullptr;
+};
+
+/**
+ * Simulate one image through the network on the given architecture.
+ * Conv layers are trace-driven; the first conv layer runs in
+ * conventional mode on both architectures; non-conv layers use the
+ * shared throughput model.
+ */
+dadiannao::NetworkResult simulateNetwork(const dadiannao::NodeConfig &cfg,
+                                         const nn::Network &net, Arch arch,
+                                         const RunOptions &opts);
+
+/**
+ * Average speedup of CNV over the baseline for a batch of images
+ * (ratio of summed cycles, as an execution-time ratio).
+ */
+double speedup(const dadiannao::NodeConfig &cfg, const nn::Network &net,
+               int images, std::uint64_t seedBase,
+               const nn::PruneConfig *prune = nullptr);
+
+} // namespace cnv::timing
+
+#endif // CNV_TIMING_NETWORK_MODEL_H

@@ -1,0 +1,91 @@
+/** @file Tests for the experiment driver and network timing model. */
+
+#include <gtest/gtest.h>
+
+#include "driver/driver.h"
+#include "timing/network_model.h"
+
+namespace {
+
+using namespace cnv;
+
+TEST(TimingModel, BaselineCyclesAreContentIndependent)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
+    dadiannao::NodeConfig cfg;
+    timing::RunOptions a, b;
+    a.imageSeed = 1;
+    b.imageSeed = 2;
+    const auto ra = timing::simulateNetwork(cfg, *net,
+                                            timing::Arch::Baseline, a);
+    const auto rb = timing::simulateNetwork(cfg, *net,
+                                            timing::Arch::Baseline, b);
+    EXPECT_EQ(ra.totalCycles(), rb.totalCycles());
+    // ... but the zero/non-zero split differs slightly.
+    EXPECT_NE(ra.totalActivity().zero, rb.totalActivity().zero);
+}
+
+TEST(TimingModel, CnvFasterThanBaselineOnEveryNetwork)
+{
+    dadiannao::NodeConfig cfg;
+    for (auto id : nn::zoo::allNetworks()) {
+        const auto net = nn::zoo::build(id, 3);
+        const double s = timing::speedup(cfg, *net, 1, 5);
+        EXPECT_GT(s, 1.0) << nn::zoo::netName(id);
+        EXPECT_LT(s, 2.0) << nn::zoo::netName(id);
+    }
+}
+
+TEST(TimingModel, ActivityAccountsEveryLaneCycle)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::CnnM, 3);
+    dadiannao::NodeConfig cfg;
+    timing::RunOptions opts;
+    for (auto arch : {timing::Arch::Baseline, timing::Arch::Cnv}) {
+        const auto r = timing::simulateNetwork(cfg, *net, arch, opts);
+        EXPECT_EQ(r.totalActivity().total(),
+                  r.totalCycles() * 256u)
+            << timing::archName(arch);
+    }
+}
+
+TEST(TimingModel, PruningIncreasesCnvSpeedup)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
+    dadiannao::NodeConfig cfg;
+    const double plain = timing::speedup(cfg, *net, 1, 5);
+    nn::PruneConfig prune;
+    prune.thresholds.assign(net->convLayerCount(), 32);
+    const double pruned = timing::speedup(cfg, *net, 1, 5, &prune);
+    EXPECT_GT(pruned, plain);
+}
+
+TEST(Driver, EvaluateAggregatesImages)
+{
+    driver::ExperimentConfig cfg;
+    cfg.images = 2;
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, cfg.seed);
+    const auto report = driver::evaluateNetwork(cfg, *net);
+    EXPECT_EQ(report.images, 2);
+    EXPECT_GT(report.speedup(), 1.0);
+    EXPECT_GT(report.baselineCycles, report.cnvCycles);
+    // Baseline has no stall events; CNV has no zero events.
+    EXPECT_EQ(report.baselineActivity.stall, 0u);
+    EXPECT_EQ(report.cnvActivity.zero, 0u);
+    EXPECT_GT(report.cnvActivity.stall, 0u);
+}
+
+TEST(Driver, SpeedupAverages)
+{
+    driver::NetworkReport a, b;
+    a.baselineCycles = 150;
+    a.cnvCycles = 100;
+    b.baselineCycles = 120;
+    b.cnvCycles = 100;
+    const std::vector<driver::NetworkReport> reports{a, b};
+    EXPECT_NEAR(driver::meanSpeedup(reports), 1.35, 1e-12);
+    EXPECT_NEAR(driver::geomeanSpeedup(reports), std::sqrt(1.5 * 1.2),
+                1e-12);
+}
+
+} // namespace

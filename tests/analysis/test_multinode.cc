@@ -1,0 +1,89 @@
+/** @file Tests for the multi-node scaling model. */
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+#include "sim/error.h"
+#include "sim/logging.h"
+#include "timing/multinode.h"
+
+namespace {
+
+using namespace cnv;
+
+TEST(MultiNode, OneNodeIsExactlyTheSingleNodeModel)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
+    dadiannao::NodeConfig cfg;
+    timing::RunOptions opts;
+    timing::MultiNodeOptions mn;
+    mn.nodes = 1;
+    EXPECT_EQ(timing::simulateMultiNode(cfg, mn, *net,
+                                        timing::Arch::Cnv, opts)
+                  .totalCycles(),
+              timing::simulateNetwork(cfg, *net, timing::Arch::Cnv, opts)
+                  .totalCycles());
+}
+
+TEST(MultiNode, TwoNodesNearlyHalveConvTime)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Vgg19, 3);
+    timing::MultiNodeOptions mn;
+    mn.nodes = 2;
+    const double s = timing::multiNodeScaling(
+        dadiannao::NodeConfig{}, mn, *net, timing::Arch::Baseline, 3);
+    EXPECT_GT(s, 1.7);
+    EXPECT_LE(s, 2.05);
+}
+
+TEST(MultiNode, ScalingSaturatesWithSlowLinks)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
+    timing::MultiNodeOptions fast, slow;
+    fast.nodes = slow.nodes = 8;
+    fast.broadcastBlocksPerCycle = 8.0;
+    slow.broadcastBlocksPerCycle = 0.05;
+    const double sFast = timing::multiNodeScaling(
+        dadiannao::NodeConfig{}, fast, *net, timing::Arch::Baseline, 3);
+    const double sSlow = timing::multiNodeScaling(
+        dadiannao::NodeConfig{}, slow, *net, timing::Arch::Baseline, 3);
+    EXPECT_GT(sFast, sSlow);
+}
+
+TEST(MultiNode, ExchangeEntriesAppearInTheLayerLog)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
+    dadiannao::NodeConfig cfg;
+    timing::RunOptions opts;
+    timing::MultiNodeOptions mn;
+    mn.nodes = 8;
+    mn.broadcastBlocksPerCycle = 0.05; // force exposure
+    const auto r = timing::simulateMultiNode(cfg, mn, *net,
+                                             timing::Arch::Baseline, opts);
+    const bool found = std::any_of(
+        r.layers.begin(), r.layers.end(), [](const auto &l) {
+            return l.name.find(":halo-exchange") != std::string::npos;
+        });
+    EXPECT_TRUE(found);
+    EXPECT_EQ(r.architecture, "dadiannao x8");
+}
+
+TEST(MultiNode, InvalidOptionsAreFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3, 16);
+    timing::RunOptions opts;
+    timing::MultiNodeOptions mn;
+    mn.nodes = 0;
+    EXPECT_THROW(timing::simulateMultiNode(dadiannao::NodeConfig{}, mn,
+                                           *net, timing::Arch::Cnv, opts),
+                 sim::FatalError);
+    mn.nodes = 2;
+    mn.broadcastBlocksPerCycle = 0.0;
+    EXPECT_THROW(timing::simulateMultiNode(dadiannao::NodeConfig{}, mn,
+                                           *net, timing::Arch::Cnv, opts),
+                 sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+} // namespace

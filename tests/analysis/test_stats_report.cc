@@ -1,0 +1,90 @@
+/** @file Tests for the stats-report bridge. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/stats_report.h"
+#include "nn/zoo/zoo.h"
+#include "timing/network_model.h"
+
+namespace {
+
+using namespace cnv;
+
+dadiannao::NetworkResult
+sampleRun(timing::Arch arch)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
+    dadiannao::NodeConfig cfg;
+    timing::RunOptions opts;
+    return timing::simulateNetwork(cfg, *net, arch, opts);
+}
+
+TEST(StatsReport, TreeHoldsRunTotals)
+{
+    const auto run = sampleRun(timing::Arch::Cnv);
+    const auto stats = driver::buildStats(run, power::Arch::Cnv);
+
+    EXPECT_DOUBLE_EQ(stats->get("cycles"),
+                     static_cast<double>(run.totalCycles()));
+    EXPECT_DOUBLE_EQ(stats->get("activity.nonZero"),
+                     static_cast<double>(run.totalActivity().nonZero));
+    EXPECT_DOUBLE_EQ(stats->get("energy.sbReads"),
+                     static_cast<double>(run.totalEnergy().sbReads));
+}
+
+TEST(StatsReport, DerivedFormulasAreConsistent)
+{
+    const auto run = sampleRun(timing::Arch::Baseline);
+    const auto stats = driver::buildStats(run, power::Arch::Baseline);
+
+    const auto activity = run.totalActivity();
+    EXPECT_NEAR(stats->get("zeroShare"),
+                static_cast<double>(activity.zero) / activity.total(),
+                1e-12);
+    const double util = stats->get("laneUtilisation");
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(StatsReport, PowerScalarsMatchModel)
+{
+    const auto run = sampleRun(timing::Arch::Cnv);
+    const auto stats = driver::buildStats(run, power::Arch::Cnv);
+    const auto pb = power::powerOf(power::Arch::Cnv, run.totalEnergy(),
+                                   run.totalCycles());
+    EXPECT_NEAR(stats->get("power.totalWatts"), pb.total(), 1e-9);
+    const auto m = power::metricsOf(power::Arch::Cnv, run.totalEnergy(),
+                                    run.totalCycles());
+    EXPECT_NEAR(stats->get("power.edp"), m.edp, 1e-15);
+}
+
+TEST(StatsReport, PerLayerGroupsExist)
+{
+    const auto run = sampleRun(timing::Arch::Cnv);
+    const auto stats = driver::buildStats(run, power::Arch::Cnv);
+    // First layer entry is addressable and sums match.
+    double layerCycles = 0.0;
+    stats->visit([&](const std::string &name, const sim::Stat &s) {
+        if (name.find("layers.") != std::string::npos &&
+            name.rfind(".cycles") == name.size() - 7)
+            layerCycles += s.value();
+    });
+    EXPECT_DOUBLE_EQ(layerCycles,
+                     static_cast<double>(run.totalCycles()));
+}
+
+TEST(StatsReport, DumpIsReadable)
+{
+    const auto run = sampleRun(timing::Arch::Cnv);
+    const auto stats = driver::buildStats(run, power::Arch::Cnv);
+    std::ostringstream os;
+    stats->dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cnv.cycles"), std::string::npos);
+    EXPECT_NE(out.find("cnv.activity.stall"), std::string::npos);
+    EXPECT_NE(out.find("cnv.power.totalWatts"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+/** @file Tests for NodeConfig validation and description. */
+
+#include <gtest/gtest.h>
+
+#include "dadiannao/config.h"
+#include "sim/error.h"
+#include "sim/logging.h"
+
+namespace {
+
+using namespace cnv;
+using dadiannao::NodeConfig;
+
+TEST(NodeConfig, DefaultIsValidAndMatchesPaper)
+{
+    NodeConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.windowsInFlight(), 4);
+    EXPECT_EQ(cfg.parallelFilters(), 256);
+}
+
+TEST(NodeConfig, BrickLaneMismatchIsFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    NodeConfig cfg;
+    cfg.brickSize = 8;
+    EXPECT_THROW(cfg.validate(), sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+TEST(NodeConfig, BankLaneMismatchIsFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    NodeConfig cfg;
+    cfg.nmBanks = 8;
+    EXPECT_THROW(cfg.validate(), sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+TEST(NodeConfig, TooShallowNboutIsFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    NodeConfig cfg;
+    cfg.nboutEntries = 8; // < filtersPerUnit
+    EXPECT_THROW(cfg.validate(), sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+TEST(NodeConfig, ScaledVariantValidates)
+{
+    NodeConfig cfg;
+    cfg.lanes = cfg.brickSize = cfg.nmBanks = 8;
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.nodeLanes(), 16 * 8);
+}
+
+TEST(NodeConfig, DescribeMentionsKeyParameters)
+{
+    const std::string d = NodeConfig{}.describe();
+    EXPECT_NE(d.find("16 units"), std::string::npos);
+    EXPECT_NE(d.find("256 parallel filters"), std::string::npos);
+    EXPECT_NE(d.find("window-even"), std::string::npos);
+    EXPECT_NE(d.find("2048KB/unit"), std::string::npos);
+}
+
+} // namespace

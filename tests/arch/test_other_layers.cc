@@ -1,0 +1,124 @@
+/** @file Tests for non-conv layer timing and the overlap tracker. */
+
+#include <gtest/gtest.h>
+
+#include "dadiannao/other_layers.h"
+#include "nn/network.h"
+
+namespace {
+
+using namespace cnv;
+using dadiannao::NodeConfig;
+using dadiannao::OverlapTracker;
+
+TEST(OverlapTracker, ExposesOnlyUnhiddenLoad)
+{
+    OverlapTracker t;
+    t.deposit(100);
+    EXPECT_EQ(t.expose(60), 0u);  // fully hidden, 40 left
+    EXPECT_EQ(t.expose(60), 20u); // 40 hidden, 20 exposed
+    EXPECT_EQ(t.expose(10), 10u); // nothing left to hide behind
+    t.deposit(5);
+    EXPECT_EQ(t.expose(3), 0u);
+}
+
+nn::Network
+poolNet(nn::PoolParams p)
+{
+    nn::Network net("t", 1);
+    const int x = net.addInput({16, 16, 64});
+    net.addPool("pool", x, p);
+    return net;
+}
+
+TEST(OtherLayers, PoolingCycleCount)
+{
+    // 16x16x64 input, 2x2 stride-2 pool: 8*8 windows * 4 reads * 64
+    // channels = 16384 reads at 256/cycle = 64 cycles.
+    NodeConfig cfg;
+    nn::PoolParams p;
+    p.k = 2;
+    p.stride = 2;
+    const nn::Network net = poolNet(p);
+    OverlapTracker overlap;
+    const auto r = dadiannao::otherLayerTiming(cfg, net.node(1), overlap);
+    EXPECT_EQ(r.cycles, 64u);
+    EXPECT_EQ(r.activity.other, 64u * 256u);
+    EXPECT_EQ(r.activity.total(), r.activity.other);
+}
+
+TEST(OtherLayers, FcComputeBoundWhenLoadHidden)
+{
+    NodeConfig cfg;
+    nn::Network net("t", 1);
+    const int x = net.addInput({1, 1, 512});
+    net.addFc("fc", x, nn::FcParams{256, true});
+    OverlapTracker overlap;
+    overlap.deposit(1u << 30); // everything hides
+    const auto r = dadiannao::otherLayerTiming(cfg, net.node(1), overlap);
+    // ceil(512/16) * ceil(256/256) = 32 cycles of compute.
+    EXPECT_EQ(r.cycles, 32u);
+}
+
+TEST(OtherLayers, FcMemoryBoundWhenNothingOverlaps)
+{
+    NodeConfig cfg;
+    cfg.offchipBytesPerCycle = 16;
+    nn::Network net("t", 1);
+    const int x = net.addInput({1, 1, 512});
+    net.addFc("fc", x, nn::FcParams{256, true});
+    OverlapTracker overlap; // empty: everything exposed
+    const auto r = dadiannao::otherLayerTiming(cfg, net.node(1), overlap);
+    // 512*256 synapses * 2B / 16 B-per-cycle = 16384 cycles.
+    EXPECT_EQ(r.cycles, 16384u);
+    EXPECT_EQ(r.energy.offchipBytes, 512u * 256u * 2u);
+}
+
+TEST(OtherLayers, ConcatAndInputAreFree)
+{
+    NodeConfig cfg;
+    nn::Network net("t", 1);
+    const int x = net.addInput({4, 4, 32});
+    const int a = net.addConcat("cat", {x, x});
+    OverlapTracker overlap;
+    EXPECT_EQ(dadiannao::otherLayerTiming(cfg, net.node(a), overlap).cycles,
+              0u);
+    EXPECT_EQ(dadiannao::otherLayerTiming(cfg, net.node(0), overlap).cycles,
+              0u);
+}
+
+TEST(OtherLayers, LrnReadsLocalNeighbourhoods)
+{
+    NodeConfig cfg;
+    nn::Network net("t", 1);
+    const int x = net.addInput({8, 8, 32});
+    net.addLrn("norm", x, nn::LrnParams{});
+    OverlapTracker overlap;
+    const auto r = dadiannao::otherLayerTiming(cfg, net.node(1), overlap);
+    // Interior channels read 5 neighbours, edges fewer:
+    // per (x,y): sum over z of clamped window = 5*32 - 6 = 154.
+    EXPECT_EQ(r.cycles, (154u * 64u + 255u) / 256u);
+    (void)x;
+}
+
+TEST(OtherLayers, ConvSynapseLoadRecordsTraffic)
+{
+    NodeConfig cfg;
+    nn::Network net("t", 1);
+    const int x = net.addInput({8, 8, 16});
+    nn::ConvParams p;
+    p.filters = 32;
+    p.fx = p.fy = 3;
+    const int c = net.addConv("c", x, p);
+    OverlapTracker overlap;
+    dadiannao::EnergyCounters energy;
+    const auto exposed = dadiannao::convSynapseLoadCycles(
+        cfg, net.node(c), overlap, energy);
+    const std::uint64_t bytes = 32u * 3 * 3 * 16 * 2;
+    EXPECT_EQ(energy.offchipBytes, bytes);
+    EXPECT_EQ(exposed,
+              (bytes + cfg.offchipBytesPerCycle - 1) /
+                  cfg.offchipBytesPerCycle);
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Additional functional-kernel coverage: cross-checks against an
+ * independent double-precision reference, geometry edge cases, and
+ * algebraic identities between layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/ops.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace cnv;
+using tensor::FilterBank;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+using tensor::Shape3;
+
+/** Independent double-precision convolution (no fixed-point tricks). */
+std::vector<double>
+referenceConv(const NeuronTensor &in, const FilterBank &w,
+              const std::vector<Fixed16> &bias, const nn::ConvParams &p,
+              Shape3 &outShape)
+{
+    outShape = p.outputShape(in.shape());
+    const int depth = in.shape().z / p.groups;
+    const int perGroup = p.filters / p.groups;
+    std::vector<double> out(outShape.volume());
+    for (int oy = 0; oy < outShape.y; ++oy)
+        for (int ox = 0; ox < outShape.x; ++ox)
+            for (int f = 0; f < p.filters; ++f) {
+                const int g = f / perGroup;
+                double acc = 0.0;
+                for (int ky = 0; ky < p.fy; ++ky)
+                    for (int kx = 0; kx < p.fx; ++kx) {
+                        const int ix = ox * p.stride - p.pad + kx;
+                        const int iy = oy * p.stride - p.pad + ky;
+                        if (ix < 0 || iy < 0 || ix >= in.shape().x ||
+                            iy >= in.shape().y)
+                            continue;
+                        for (int z = 0; z < depth; ++z)
+                            acc += in.at(ix, iy, g * depth + z)
+                                       .toDouble() *
+                                   w.at(f, kx, ky, z).toDouble();
+                    }
+                acc += bias[f].toDouble();
+                if (p.relu)
+                    acc = std::max(acc, 0.0);
+                out[(static_cast<std::size_t>(oy) * outShape.x + ox) *
+                        outShape.z + f] = acc;
+            }
+    return out;
+}
+
+TEST(ConvReference, MatchesDoublePrecisionWithinQuantisation)
+{
+    sim::Rng rng(31);
+    nn::ConvParams p;
+    p.filters = 10;
+    p.fx = 3;
+    p.fy = 2;
+    p.stride = 2;
+    p.pad = 1;
+
+    NeuronTensor in(9, 7, 12);
+    for (Fixed16 &v : in)
+        v = Fixed16::fromDouble(rng.uniform(-1.0, 1.0));
+    FilterBank w(10, 3, 2, 12);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = Fixed16::fromDouble(rng.normal(0.0, 0.2));
+    std::vector<Fixed16> bias(10);
+    for (Fixed16 &b : bias)
+        b = Fixed16::fromDouble(rng.uniform(-0.2, 0.2));
+
+    Shape3 outShape;
+    const auto ref = referenceConv(in, w, bias, p, outShape);
+    const NeuronTensor out = nn::conv2d(in, w, bias, p);
+    ASSERT_EQ(out.shape(), outShape);
+
+    for (int oy = 0; oy < outShape.y; ++oy)
+        for (int ox = 0; ox < outShape.x; ++ox)
+            for (int f = 0; f < 10; ++f) {
+                const double expect =
+                    ref[(static_cast<std::size_t>(oy) * outShape.x + ox) *
+                            outShape.z + f];
+                // One output LSB of rounding slack.
+                EXPECT_NEAR(out.at(ox, oy, f).toDouble(), expect,
+                            1.5 / 256.0);
+            }
+}
+
+TEST(ConvGeometry, StrideLargerThanKernel)
+{
+    nn::ConvParams p;
+    p.filters = 1;
+    p.fx = p.fy = 2;
+    p.stride = 3;
+    p.pad = 0;
+    NeuronTensor in(8, 8, 1);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            in.at(x, y, 0) = Fixed16::fromDouble(x);
+    FilterBank w(1, 2, 2, 1);
+    w.at(0, 0, 0, 0) = Fixed16::fromDouble(1.0);
+    std::vector<Fixed16> bias(1);
+    const auto out = nn::conv2d(in, w, bias, p);
+    // (8-2)/3+1 = 3 outputs; windows start at x = 0, 3, 6.
+    ASSERT_EQ(out.shape().x, 3);
+    EXPECT_DOUBLE_EQ(out.at(1, 0, 0).toDouble(), 3.0);
+    EXPECT_DOUBLE_EQ(out.at(2, 0, 0).toDouble(), 6.0);
+}
+
+TEST(ConvGeometry, SinglePixelOutput)
+{
+    nn::ConvParams p;
+    p.filters = 2;
+    p.fx = p.fy = 4;
+    p.stride = 1;
+    p.pad = 0;
+    NeuronTensor in(4, 4, 3);
+    in.fill(Fixed16::fromDouble(0.5));
+    FilterBank w(2, 4, 4, 3);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = Fixed16::fromDouble(0.1);
+    std::vector<Fixed16> bias(2);
+    const auto out = nn::conv2d(in, w, bias, p);
+    EXPECT_EQ(out.shape(), (Shape3{1, 1, 2}));
+    EXPECT_NEAR(out.at(0, 0, 0).toDouble(), 4 * 4 * 3 * 0.05, 0.05);
+}
+
+TEST(OneByOneConvOnFlatInput, EqualsFullyConnected)
+{
+    // A 1x1 conv over a 1x1 spatial input is exactly an FC layer.
+    sim::Rng rng(37);
+    const int inC = 24, outC = 10;
+    NeuronTensor in(1, 1, inC);
+    for (Fixed16 &v : in)
+        v = Fixed16::fromDouble(rng.uniform(0.0, 1.0));
+
+    FilterBank w(outC, 1, 1, inC);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = Fixed16::fromDouble(rng.normal(0.0, 0.3));
+    std::vector<Fixed16> bias(outC);
+
+    nn::ConvParams cp;
+    cp.filters = outC;
+    cp.fx = cp.fy = 1;
+    cp.stride = 1;
+    cp.relu = false;
+    nn::FcParams fp;
+    fp.outputs = outC;
+    fp.relu = false;
+
+    EXPECT_EQ(nn::conv2d(in, w, bias, cp),
+              nn::fullyConnected(in, w, bias, fp));
+}
+
+TEST(Pool, PaddedMaxIgnoresPaddingForPositives)
+{
+    nn::PoolParams p;
+    p.k = 3;
+    p.stride = 2;
+    p.pad = 1;
+    NeuronTensor in(4, 4, 1);
+    in.fill(Fixed16::fromDouble(2.0));
+    const auto out = nn::pool2d(in, p);
+    for (int y = 0; y < out.shape().y; ++y)
+        for (int x = 0; x < out.shape().x; ++x)
+            EXPECT_DOUBLE_EQ(out.at(x, y, 0).toDouble(), 2.0);
+}
+
+TEST(Pool, GlobalAveragePool)
+{
+    nn::PoolParams p;
+    p.op = nn::PoolParams::Op::Avg;
+    p.k = 4;
+    p.stride = 1;
+    NeuronTensor in(4, 4, 2);
+    double sum0 = 0;
+    sim::Rng rng(41);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) {
+            const double v = rng.uniform(0.0, 1.0);
+            in.at(x, y, 0) = Fixed16::fromDouble(v);
+            sum0 += in.at(x, y, 0).toDouble();
+            in.at(x, y, 1) = Fixed16::fromDouble(0.25);
+        }
+    const auto out = nn::pool2d(in, p);
+    ASSERT_EQ(out.shape(), (Shape3{1, 1, 2}));
+    EXPECT_NEAR(out.at(0, 0, 0).toDouble(), sum0 / 16, 1.0 / 256);
+    EXPECT_NEAR(out.at(0, 0, 1).toDouble(), 0.25, 1.0 / 256);
+}
+
+TEST(Lrn, IdentityWhenAlphaZero)
+{
+    nn::LrnParams p;
+    p.alpha = 0.0;
+    p.k = 1.0;
+    sim::Rng rng(43);
+    NeuronTensor in(3, 3, 8);
+    for (Fixed16 &v : in)
+        v = Fixed16::fromDouble(rng.uniform(-1.0, 1.0));
+    EXPECT_EQ(nn::lrn(in, p), in);
+}
+
+TEST(Lrn, PreservesSign)
+{
+    nn::LrnParams p;
+    NeuronTensor in(1, 1, 5);
+    in.at(0, 0, 2) = Fixed16::fromDouble(-3.0);
+    const auto out = nn::lrn(in, p);
+    EXPECT_LT(out.at(0, 0, 2).toDouble(), 0.0);
+}
+
+TEST(Softmax, InvariantToLogitShift)
+{
+    NeuronTensor a(1, 1, 4), b(1, 1, 4);
+    const double logits[4] = {0.5, 1.5, -0.5, 2.0};
+    for (int z = 0; z < 4; ++z) {
+        a.at(0, 0, z) = Fixed16::fromDouble(logits[z]);
+        b.at(0, 0, z) = Fixed16::fromDouble(logits[z] + 10.0);
+    }
+    const auto sa = nn::softmax(a);
+    const auto sb = nn::softmax(b);
+    for (int z = 0; z < 4; ++z)
+        EXPECT_NEAR(sa.at(0, 0, z).toDouble(), sb.at(0, 0, z).toDouble(),
+                    1.0 / 256);
+}
+
+TEST(Argmax, FirstOfEqualsWins)
+{
+    NeuronTensor t(1, 1, 3);
+    t.fill(Fixed16::fromDouble(1.0));
+    EXPECT_EQ(nn::argmax(t), 0);
+}
+
+TEST(Concat, ThreeWayOrderPreserved)
+{
+    NeuronTensor a(2, 1, 1), b(2, 1, 2), c(2, 1, 1);
+    a.at(0, 0, 0) = Fixed16::fromDouble(1);
+    b.at(0, 0, 1) = Fixed16::fromDouble(2);
+    c.at(0, 0, 0) = Fixed16::fromDouble(3);
+    const auto out = nn::concat({&a, &b, &c});
+    ASSERT_EQ(out.shape().z, 4);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0).toDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 2).toDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 3).toDouble(), 3.0);
+}
+
+} // namespace

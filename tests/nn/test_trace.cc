@@ -1,0 +1,162 @@
+/** @file Tests for synthetic activation trace generation. */
+
+#include <gtest/gtest.h>
+
+#include "nn/trace.h"
+#include "nn/zoo/zoo.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace cnv;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+
+TEST(Traces, HitsTargetZeroFraction)
+{
+    for (double target : {0.2, 0.44, 0.7}) {
+        nn::SparsityModel model;
+        model.zeroFraction = target;
+        sim::Rng rng(100 + static_cast<int>(target * 100));
+        const NeuronTensor t =
+            nn::synthesizeActivations({32, 32, 128}, model, rng);
+        EXPECT_NEAR(tensor::zeroFraction(t), target, 0.02) << target;
+    }
+}
+
+TEST(Traces, ExtremesAreExact)
+{
+    nn::SparsityModel model;
+    sim::Rng rng(1);
+    model.zeroFraction = 1.0;
+    EXPECT_DOUBLE_EQ(tensor::zeroFraction(nn::synthesizeActivations(
+                         {8, 8, 32}, model, rng)), 1.0);
+    model.zeroFraction = 0.0;
+    EXPECT_DOUBLE_EQ(tensor::zeroFraction(nn::synthesizeActivations(
+                         {8, 8, 32}, model, rng)), 0.0);
+}
+
+TEST(Traces, NonZeroValuesArePositive)
+{
+    nn::SparsityModel model;
+    model.zeroFraction = 0.5;
+    sim::Rng rng(3);
+    const NeuronTensor t = nn::synthesizeActivations({8, 8, 64}, model, rng);
+    for (const Fixed16 v : t)
+        EXPECT_GE(v.raw(), 0);
+}
+
+TEST(Traces, ChannelDispersionWidensFiringRateSpread)
+{
+    // Higher channel dispersion must widen the distribution of
+    // per-channel firing rates (rarely- vs often-firing features).
+    auto rateVariance = [](double dispersion) {
+        nn::SparsityModel model;
+        model.zeroFraction = 0.5;
+        model.channelDispersion = dispersion;
+        model.spatialDispersion = 0.0;
+        sim::Rng rng(17);
+        const NeuronTensor t =
+            nn::synthesizeActivations({16, 16, 256}, model, rng);
+        double sum = 0, sumSq = 0;
+        for (int z = 0; z < 256; ++z) {
+            int nz = 0;
+            for (int y = 0; y < 16; ++y)
+                for (int x = 0; x < 16; ++x)
+                    nz += !t.at(x, y, z).isZero();
+            const double rate = nz / 256.0;
+            sum += rate;
+            sumSq += rate * rate;
+        }
+        const double mean = sum / 256.0;
+        return sumSq / 256.0 - mean * mean;
+    };
+    EXPECT_GT(rateVariance(0.8), 2.0 * rateVariance(0.05));
+}
+
+TEST(Traces, SameSeedSameTrace)
+{
+    nn::SparsityModel model;
+    sim::Rng a(5), b(5);
+    EXPECT_EQ(nn::synthesizeActivations({8, 8, 32}, model, a),
+              nn::synthesizeActivations({8, 8, 32}, model, b));
+}
+
+TEST(Traces, InputSegmentsLinearNetwork)
+{
+    auto net = nn::zoo::build(nn::zoo::NetId::Alex, 1, 8);
+    // conv1's input is the raw image.
+    const auto seg1 =
+        nn::inputSegments(*net, net->convNodeIds()[0]);
+    ASSERT_EQ(seg1.size(), 1u);
+    EXPECT_EQ(seg1[0].producerConvIndex, -1);
+    // conv2's input is conv1's output (through pool/LRN).
+    const auto seg2 =
+        nn::inputSegments(*net, net->convNodeIds()[1]);
+    ASSERT_EQ(seg2.size(), 1u);
+    EXPECT_EQ(seg2[0].producerConvIndex, 0);
+}
+
+TEST(Traces, InputSegmentsThroughConcat)
+{
+    auto net = nn::zoo::build(nn::zoo::NetId::Google, 1, 8);
+    // Find a conv whose input crosses a concat (an inception-3b
+    // 1x1): it should see four producer segments.
+    bool found = false;
+    for (int id : net->convNodeIds()) {
+        const auto segs = nn::inputSegments(*net, id);
+        if (segs.size() == 4) {
+            int total = 0;
+            for (const auto &s : segs) {
+                EXPECT_GE(s.producerConvIndex, 0);
+                total += s.depth;
+            }
+            EXPECT_EQ(total, net->node(id).inShape.z);
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Traces, SynthesizedConvInputMatchesLayerTarget)
+{
+    auto net = nn::zoo::build(nn::zoo::NetId::Vgg19, 3);
+    const int conv3 = net->convNodeIds()[4];
+    const NeuronTensor in = nn::synthesizeConvInput(*net, conv3, 42);
+    EXPECT_NEAR(tensor::zeroFraction(in),
+                net->node(conv3).conv.inputZeroFraction, 0.03);
+}
+
+TEST(Traces, PruneThresholdIncreasesZeroFraction)
+{
+    auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
+    const int conv3 = net->convNodeIds()[2];
+    const NeuronTensor plain = nn::synthesizeConvInput(*net, conv3, 7);
+    nn::PruneConfig prune;
+    prune.thresholds.assign(net->convLayerCount(), 48);
+    const NeuronTensor pruned =
+        nn::synthesizeConvInput(*net, conv3, 7, &prune);
+    EXPECT_GT(tensor::zeroFraction(pruned), tensor::zeroFraction(plain));
+    // Pruned values are exactly the sub-threshold ones.
+    for (int y = 0; y < plain.shape().y; ++y)
+        for (int x = 0; x < plain.shape().x; ++x)
+            for (int z = 0; z < plain.shape().z; ++z) {
+                const Fixed16 a = plain.at(x, y, z);
+                const Fixed16 b = pruned.at(x, y, z);
+                if (a.rawAbs() < 48)
+                    EXPECT_TRUE(b.isZero());
+                else
+                    EXPECT_EQ(a, b);
+            }
+}
+
+TEST(Traces, ZeroOperandFractionStableAcrossImages)
+{
+    auto net = nn::zoo::build(nn::zoo::NetId::CnnS, 3);
+    const double f1 = nn::zeroOperandFraction(*net, 1);
+    const double f2 = nn::zeroOperandFraction(*net, 2);
+    EXPECT_NEAR(f1, f2, 0.02); // Figure 1's small error bars
+}
+
+} // namespace

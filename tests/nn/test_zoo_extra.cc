@@ -1,0 +1,90 @@
+/** @file Full-scale geometry pins for the remaining zoo networks. */
+
+#include <gtest/gtest.h>
+
+#include "nn/trace.h"
+#include "nn/zoo/zoo.h"
+
+namespace {
+
+using namespace cnv;
+using nn::zoo::NetId;
+
+TEST(ZooGeometry, NinStackAndGlobalPool)
+{
+    const auto net = nn::zoo::build(NetId::Nin, 1);
+    const auto &convs = net->convNodeIds();
+    // conv1: 224x224x3, 11x11 stride 4 -> 54x54x96.
+    EXPECT_EQ(net->node(convs[0]).outShape, (tensor::Shape3{54, 54, 96}));
+    // cccp layers are 1x1 and preserve spatial extent.
+    EXPECT_EQ(net->node(convs[1]).conv.fx, 1);
+    EXPECT_EQ(net->node(convs[1]).outShape.x, 54);
+    // cccp8 emits the 1000 class maps; global average pool follows.
+    EXPECT_EQ(net->node(convs[11]).outShape.z, 1000);
+    const auto &last = net->nodes().back();
+    EXPECT_EQ(last.outShape, (tensor::Shape3{1, 1, 1000}));
+}
+
+TEST(ZooGeometry, CnnSStride3Pools)
+{
+    const auto net = nn::zoo::build(NetId::CnnS, 1);
+    const auto &convs = net->convNodeIds();
+    // conv1: 7x7 stride 2 on 224 -> 109.
+    EXPECT_EQ(net->node(convs[0]).outShape.x, 109);
+    EXPECT_EQ(net->node(convs[0]).outShape.z, 96);
+    // conv3..5 are 512-wide 3x3 at the post-pool2 extent.
+    EXPECT_EQ(net->node(convs[2]).outShape.z, 512);
+    EXPECT_EQ(net->node(convs[4]).outShape.z, 512);
+}
+
+TEST(ZooGeometry, CnnMStride2Conv2)
+{
+    const auto net = nn::zoo::build(NetId::CnnM, 1);
+    const auto &convs = net->convNodeIds();
+    EXPECT_EQ(net->node(convs[0]).outShape.x, 109);
+    // conv2 is 5x5 stride 2 (the M variant's defining feature).
+    EXPECT_EQ(net->node(convs[1]).conv.stride, 2);
+    EXPECT_EQ(net->node(convs[1]).outShape.z, 256);
+}
+
+TEST(ZooGeometry, GoogleAuxHeadsAreDeadEndsAtInference)
+{
+    const auto net = nn::zoo::build(NetId::Google, 1);
+    // The final node is the main classifier's softmax, not an aux
+    // head, and aux conv layers are counted in the 59.
+    EXPECT_EQ(net->nodes().back().name, "prob");
+    int auxConvs = 0;
+    for (int id : net->convNodeIds()) {
+        if (net->node(id).name.rfind("loss", 0) == 0)
+            ++auxConvs;
+    }
+    EXPECT_EQ(auxConvs, 2);
+}
+
+TEST(ZooGeometry, GroupedConvsAreBrickAligned)
+{
+    // Every grouped conv in every full-scale network must have a
+    // brick-aligned group depth (CNV requirement).
+    for (auto id : nn::zoo::allNetworks()) {
+        const auto net = nn::zoo::build(id, 1);
+        for (int cid : net->convNodeIds()) {
+            const nn::Node &n = net->node(cid);
+            if (n.conv.groups > 1) {
+                EXPECT_EQ((n.inShape.z / n.conv.groups) % 16, 0)
+                    << nn::zoo::netName(id) << ' ' << n.name;
+            }
+        }
+    }
+}
+
+TEST(ZooGeometry, PrunedZeroOperandFractionRises)
+{
+    const auto net = nn::zoo::build(NetId::Vgg19, 1);
+    nn::PruneConfig prune;
+    prune.thresholds.assign(net->convLayerCount(), 64);
+    const double plain = nn::zeroOperandFraction(*net, 5);
+    const double pruned = nn::zeroOperandFraction(*net, 5, &prune);
+    EXPECT_GT(pruned, plain);
+}
+
+} // namespace

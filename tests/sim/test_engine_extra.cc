@@ -1,0 +1,100 @@
+/** @file Additional engine coverage: ordering and composition. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace {
+
+using namespace cnv::sim;
+
+/** Records the order in which phases run. */
+class Recorder : public Clocked
+{
+  public:
+    Recorder(int id, std::vector<int> &evalLog, std::vector<int> &commitLog,
+             int lifetime)
+        : Clocked("recorder"),
+          id_(id),
+          evalLog_(evalLog),
+          commitLog_(commitLog),
+          remaining_(lifetime)
+    {}
+
+    void
+    evaluate(Cycle) override
+    {
+        evalLog_.push_back(id_);
+        if (remaining_ > 0)
+            --remaining_;
+    }
+
+    void commit(Cycle) override { commitLog_.push_back(id_); }
+    bool done() const override { return remaining_ == 0; }
+
+  private:
+    int id_;
+    std::vector<int> &evalLog_;
+    std::vector<int> &commitLog_;
+    int remaining_;
+};
+
+TEST(EngineOrdering, EvaluateAllThenCommitAllInAddOrder)
+{
+    std::vector<int> evals, commits;
+    Recorder a(1, evals, commits, 1), b(2, evals, commits, 1);
+    Engine engine("t");
+    engine.add(a);
+    engine.add(b);
+    engine.step();
+    EXPECT_EQ(evals, (std::vector<int>{1, 2}));
+    EXPECT_EQ(commits, (std::vector<int>{1, 2}));
+}
+
+TEST(EngineOrdering, RunsUntilSlowestComponentFinishes)
+{
+    std::vector<int> evals, commits;
+    Recorder fast(1, evals, commits, 2), slow(2, evals, commits, 7);
+    Engine engine("t");
+    engine.add(fast);
+    engine.add(slow);
+    EXPECT_EQ(engine.run(100), 7u);
+}
+
+TEST(EngineOrdering, SequentialRunsAccumulateTime)
+{
+    std::vector<int> evals, commits;
+    Recorder a(1, evals, commits, 3);
+    Engine engine("t");
+    engine.add(a);
+    engine.run(100);
+    EXPECT_EQ(engine.now(), 3u);
+
+    Recorder b(2, evals, commits, 2);
+    engine.add(b);
+    engine.run(100);
+    EXPECT_EQ(engine.now(), 5u);
+}
+
+TEST(LatchExtra, PushWithoutTickStaysInvisible)
+{
+    Latch<int> l;
+    l.push(9);
+    EXPECT_FALSE(l.valid());
+    l.tick();
+    EXPECT_TRUE(l.valid());
+}
+
+TEST(LatchExtra, TickWithoutPushKeepsCurrent)
+{
+    Latch<int> l;
+    l.push(1);
+    l.tick();
+    l.tick(); // nothing staged; current unconsumed
+    EXPECT_TRUE(l.valid());
+    EXPECT_EQ(l.pop(), 1);
+}
+
+} // namespace

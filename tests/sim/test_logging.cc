@@ -1,0 +1,75 @@
+/** @file Tests for the logging/formatting layer. */
+
+#include <gtest/gtest.h>
+
+#include "sim/error.h"
+#include "sim/logging.h"
+
+namespace {
+
+using namespace cnv::sim;
+
+TEST(Strfmt, SubstitutesPlaceholdersInOrder)
+{
+    EXPECT_EQ(strfmt("a={} b={}", 1, "two"), "a=1 b=two");
+    EXPECT_EQ(strfmt("{}{}{}", 'x', 'y', 'z'), "xyz");
+}
+
+TEST(Strfmt, NoArguments)
+{
+    EXPECT_EQ(strfmt("plain text"), "plain text");
+}
+
+TEST(Strfmt, ExtraArgumentsAreAppendedVisibly)
+{
+    const std::string s = strfmt("v={}", 1, 2);
+    EXPECT_NE(s.find("extra"), std::string::npos);
+}
+
+TEST(Strfmt, MissingArgumentsLeavePlaceholderVisible)
+{
+    EXPECT_EQ(strfmt("a={} b={}", 7), "a=7 b={}");
+}
+
+TEST(Strfmt, FormatsDoubles)
+{
+    EXPECT_EQ(strfmt("{}", 2.5), "2.5");
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    setVerbosity(Verbosity::Silent);
+    EXPECT_THROW(CNV_PANIC("bad state {}", 3), PanicError);
+    setVerbosity(Verbosity::Info);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    setVerbosity(Verbosity::Silent);
+    EXPECT_THROW(CNV_FATAL("bad config"), FatalError);
+    setVerbosity(Verbosity::Info);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    setVerbosity(Verbosity::Silent);
+    EXPECT_NO_THROW(CNV_ASSERT(1 + 1 == 2, "arithmetic"));
+    EXPECT_THROW(CNV_ASSERT(false, "always fails"), PanicError);
+    setVerbosity(Verbosity::Info);
+}
+
+TEST(Logging, ErrorMessagesCarryLocation)
+{
+    setVerbosity(Verbosity::Silent);
+    try {
+        CNV_FATAL("weird {}", 42);
+        FAIL() << "should have thrown";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("weird 42"), std::string::npos);
+        EXPECT_NE(what.find("test_logging.cc"), std::string::npos);
+    }
+    setVerbosity(Verbosity::Info);
+}
+
+} // namespace

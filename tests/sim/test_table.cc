@@ -1,0 +1,54 @@
+/** @file Tests for the table writer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/error.h"
+#include "sim/logging.h"
+#include "sim/table.h"
+
+namespace {
+
+using namespace cnv::sim;
+
+TEST(Table, PrintsAlignedColumns)
+{
+    Table t({"net", "speedup"});
+    t.addRow({"alex", "1.37"});
+    t.addRow({"google", "1.24"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("net"), std::string::npos);
+    EXPECT_NE(out.find("google"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityMismatchIsFatal)
+{
+    setVerbosity(Verbosity::Silent);
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), FatalError);
+    setVerbosity(Verbosity::Info);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.375, 2), "1.38");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.443), "44.3%");
+    EXPECT_EQ(Table::intNum(1234567), "1,234,567");
+    EXPECT_EQ(Table::intNum(12), "12");
+}
+
+} // namespace

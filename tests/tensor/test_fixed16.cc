@@ -1,0 +1,87 @@
+/** @file Tests for the Q7.8 fixed-point type. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/fixed16.h"
+
+namespace {
+
+using cnv::tensor::Accum;
+using cnv::tensor::Fixed16;
+
+TEST(Fixed16, RoundTripThroughDouble)
+{
+    for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 3.75, -127.0}) {
+        EXPECT_DOUBLE_EQ(Fixed16::fromDouble(v).toDouble(), v);
+    }
+}
+
+TEST(Fixed16, RoundsToNearest)
+{
+    // 1/512 is exactly half an LSB; nearbyint rounds to even.
+    EXPECT_EQ(Fixed16::fromDouble(3.0 / 512).raw(), 2);
+    EXPECT_EQ(Fixed16::fromDouble(-3.0 / 512).raw(), -2);
+}
+
+TEST(Fixed16, SaturatesAtRangeLimits)
+{
+    EXPECT_EQ(Fixed16::fromDouble(1000.0).raw(), 32767);
+    EXPECT_EQ(Fixed16::fromDouble(-1000.0).raw(), -32768);
+    EXPECT_EQ(Fixed16::saturateFromRaw(40000).raw(), 32767);
+    EXPECT_EQ(Fixed16::saturateFromRaw(-40000).raw(), -32768);
+}
+
+TEST(Fixed16, MulRawIsExact)
+{
+    const Fixed16 a = Fixed16::fromDouble(1.5);   // raw 384
+    const Fixed16 b = Fixed16::fromDouble(-2.25); // raw -576
+    EXPECT_EQ(mulRaw(a, b), Accum{384} * -576);
+}
+
+TEST(Fixed16, ProductRequantisationMatchesRealArithmetic)
+{
+    const Fixed16 a = Fixed16::fromDouble(1.5);
+    const Fixed16 b = Fixed16::fromDouble(2.0);
+    const Fixed16 c = Fixed16::productToFixed(mulRaw(a, b));
+    EXPECT_DOUBLE_EQ(c.toDouble(), 3.0);
+}
+
+TEST(Fixed16, ProductRoundingIsSymmetric)
+{
+    // +/- the same product magnitudes round to the same magnitude.
+    const Accum p = 3 * 128; // 1.5 LSB of the output
+    EXPECT_EQ(Fixed16::productToFixed(p).raw(),
+              -Fixed16::productToFixed(-p).raw());
+}
+
+TEST(Fixed16, SaturatingAddition)
+{
+    const Fixed16 big = Fixed16::fromRaw(32000);
+    EXPECT_EQ((big + big).raw(), 32767);
+    const Fixed16 neg = Fixed16::fromRaw(-32000);
+    EXPECT_EQ((neg + neg).raw(), -32768);
+    EXPECT_DOUBLE_EQ((Fixed16::fromDouble(1.5) +
+                      Fixed16::fromDouble(0.25)).toDouble(), 1.75);
+}
+
+TEST(Fixed16, ReluZeroesNegatives)
+{
+    EXPECT_TRUE(Fixed16::fromDouble(-0.5).relu().isZero());
+    EXPECT_DOUBLE_EQ(Fixed16::fromDouble(0.5).relu().toDouble(), 0.5);
+    EXPECT_TRUE(Fixed16{}.relu().isZero());
+}
+
+TEST(Fixed16, RawAbsHandlesMostNegative)
+{
+    EXPECT_EQ(Fixed16::fromRaw(-32768).rawAbs(), 32768);
+    EXPECT_EQ(Fixed16::fromRaw(-5).rawAbs(), 5);
+    EXPECT_EQ(Fixed16::fromRaw(5).rawAbs(), 5);
+}
+
+TEST(Fixed16, ComparisonOperators)
+{
+    EXPECT_LT(Fixed16::fromDouble(1.0), Fixed16::fromDouble(2.0));
+    EXPECT_EQ(Fixed16::fromDouble(1.0), Fixed16::fromRaw(256));
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/** @file Tests for binary tensor serialisation. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/error.h"
+#include "sim/logging.h"
+#include "sim/rng.h"
+#include "tensor/serialize.h"
+
+namespace {
+
+using namespace cnv;
+using tensor::FilterBank;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+
+NeuronTensor
+randomTensor(int x, int y, int z, std::uint64_t seed)
+{
+    NeuronTensor t(x, y, z);
+    sim::Rng rng(seed);
+    for (Fixed16 &v : t)
+        v = Fixed16::fromRaw(static_cast<std::int16_t>(
+            rng.uniformInt(std::int64_t{-32768}, std::int64_t{32767})));
+    return t;
+}
+
+TEST(Serialize, TensorRoundTrip)
+{
+    const NeuronTensor t = randomTensor(5, 7, 33, 1);
+    std::stringstream ss;
+    tensor::save(ss, t);
+    EXPECT_EQ(tensor::loadTensor(ss), t);
+}
+
+TEST(Serialize, EmptyTensorRoundTrip)
+{
+    const NeuronTensor t(1, 1, 1);
+    std::stringstream ss;
+    tensor::save(ss, t);
+    EXPECT_EQ(tensor::loadTensor(ss), t);
+}
+
+TEST(Serialize, FilterBankRoundTrip)
+{
+    FilterBank f(3, 2, 2, 9);
+    sim::Rng rng(3);
+    for (std::size_t i = 0; i < f.size(); ++i)
+        f.data()[i] = Fixed16::fromRaw(
+            static_cast<std::int16_t>(rng.uniformInt(std::int64_t{-100},
+                                                     std::int64_t{100})));
+    std::stringstream ss;
+    tensor::save(ss, f);
+    const FilterBank g = tensor::loadFilterBank(ss);
+    ASSERT_EQ(g.shape(), f.shape());
+    for (std::size_t i = 0; i < f.size(); ++i)
+        EXPECT_EQ(g.data()[i], f.data()[i]);
+}
+
+TEST(Serialize, BackToBackStreams)
+{
+    const NeuronTensor a = randomTensor(2, 2, 4, 5);
+    const NeuronTensor b = randomTensor(3, 1, 8, 6);
+    std::stringstream ss;
+    tensor::save(ss, a);
+    tensor::save(ss, b);
+    EXPECT_EQ(tensor::loadTensor(ss), a);
+    EXPECT_EQ(tensor::loadTensor(ss), b);
+}
+
+TEST(Serialize, BadMagicIsFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    std::stringstream ss;
+    ss << "JUNKxxxxxxxxxxxxxxxx";
+    EXPECT_THROW(tensor::loadTensor(ss), sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+TEST(Serialize, TruncatedStreamIsFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    const NeuronTensor t = randomTensor(4, 4, 16, 9);
+    std::stringstream ss;
+    tensor::save(ss, t);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(tensor::loadTensor(cut), sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+TEST(Serialize, WrongKindIsFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    const NeuronTensor t = randomTensor(2, 2, 2, 11);
+    std::stringstream ss;
+    tensor::save(ss, t);
+    EXPECT_THROW(tensor::loadFilterBank(ss), sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const NeuronTensor t = randomTensor(6, 3, 12, 13);
+    const std::string path = ::testing::TempDir() + "cnv_tensor_test.bin";
+    tensor::saveTensorFile(path, t);
+    EXPECT_EQ(tensor::loadTensorFile(path), t);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    sim::setVerbosity(sim::Verbosity::Silent);
+    EXPECT_THROW(tensor::loadTensorFile("/nonexistent/nope.bin"),
+                 sim::FatalError);
+    sim::setVerbosity(sim::Verbosity::Info);
+}
+
+} // namespace

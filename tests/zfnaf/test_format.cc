@@ -1,0 +1,160 @@
+/** @file Tests for the Zero-Free Neuron Array format. */
+
+#include <gtest/gtest.h>
+
+#include "sim/error.h"
+#include "sim/logging.h"
+#include "sim/rng.h"
+#include "zfnaf/format.h"
+
+namespace {
+
+using namespace cnv;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+using zfnaf::EncodedArray;
+using zfnaf::EncodedNeuron;
+
+NeuronTensor
+randomSparse(int x, int y, int z, double zeroFrac, std::uint64_t seed)
+{
+    NeuronTensor t(x, y, z);
+    sim::Rng rng(seed);
+    for (Fixed16 &v : t)
+        v = rng.bernoulli(zeroFrac)
+            ? Fixed16{}
+            : Fixed16::fromRaw(static_cast<std::int16_t>(
+                  rng.uniformInt(std::int64_t{1}, std::int64_t{1000})));
+    return t;
+}
+
+TEST(Zfnaf, PaperExampleEncoding)
+{
+    // Section III-C: the stream (1,0,0,3) encodes as ((1,0),(3,3)).
+    NeuronTensor t(1, 1, 4);
+    t.at(0, 0, 0) = Fixed16::fromRaw(1);
+    t.at(0, 0, 3) = Fixed16::fromRaw(3);
+    const EncodedArray enc = zfnaf::encode(t, 4);
+    const auto brick = enc.brick(0, 0, 0);
+    ASSERT_EQ(brick.size(), 2u);
+    EXPECT_EQ(brick[0].value.raw(), 1);
+    EXPECT_EQ(brick[0].offset, 0);
+    EXPECT_EQ(brick[1].value.raw(), 3);
+    EXPECT_EQ(brick[1].offset, 3);
+}
+
+TEST(Zfnaf, OffsetFieldWidths)
+{
+    EXPECT_EQ(EncodedArray({1, 1, 16}, 16).offsetBits(), 4);
+    EXPECT_EQ(EncodedArray({1, 1, 8}, 8).offsetBits(), 3);
+    EXPECT_EQ(EncodedArray({1, 1, 4}, 4).offsetBits(), 2);
+    EXPECT_EQ(EncodedArray({1, 1, 64}, 64).offsetBits(), 6);
+}
+
+TEST(Zfnaf, SixteenNeuronBrickOverheadIs25Percent)
+{
+    // 16-bit values + 4-bit offsets = 25% capacity overhead
+    // (Section IV-B1).
+    const EncodedArray enc({4, 4, 64}, 16);
+    const std::size_t conventionalBits = 4 * 4 * 64 * 16;
+    EXPECT_EQ(enc.storageBits(), conventionalBits * 5 / 4);
+}
+
+class ZfnafRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(ZfnafRoundTrip, DecodeRecoversOriginal)
+{
+    const auto [brickSize, zeroFrac] = GetParam();
+    const NeuronTensor t =
+        randomSparse(5, 4, 37, zeroFrac,
+                     1000 + brickSize + static_cast<int>(zeroFrac * 100));
+    const EncodedArray enc = zfnaf::encode(t, brickSize);
+    enc.checkInvariants();
+    EXPECT_EQ(zfnaf::decode(enc), t);
+    EXPECT_EQ(enc.totalNonZero(), tensor::countNonZero(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BrickSizesAndSparsities, ZfnafRoundTrip,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(0.0, 0.3, 0.5, 0.9, 1.0)));
+
+TEST(Zfnaf, PruningThresholdZeroesSmallMagnitudes)
+{
+    NeuronTensor t(1, 1, 4);
+    t.at(0, 0, 0) = Fixed16::fromRaw(5);
+    t.at(0, 0, 1) = Fixed16::fromRaw(-5);
+    t.at(0, 0, 2) = Fixed16::fromRaw(6);
+    t.at(0, 0, 3) = Fixed16::fromRaw(-7);
+    const EncodedArray enc = zfnaf::encode(t, 4, /*pruneThreshold=*/6);
+    const auto brick = enc.brick(0, 0, 0);
+    ASSERT_EQ(brick.size(), 2u);
+    EXPECT_EQ(brick[0].value.raw(), 6);
+    EXPECT_EQ(brick[1].value.raw(), -7);
+}
+
+TEST(Zfnaf, CountMapMatchesEncoding)
+{
+    const NeuronTensor t = randomSparse(6, 5, 50, 0.45, 77);
+    const EncodedArray enc = zfnaf::encode(t, 16);
+    const auto counts = zfnaf::nonZeroCountMap(t, 16);
+    ASSERT_EQ(counts.shape().z, enc.bricksPerColumn());
+    for (int y = 0; y < 5; ++y)
+        for (int x = 0; x < 6; ++x)
+            for (int b = 0; b < enc.bricksPerColumn(); ++b)
+                EXPECT_EQ(counts.at(x, y, b), enc.nonZeroCount(x, y, b));
+}
+
+TEST(Zfnaf, CountMapHonoursThreshold)
+{
+    const NeuronTensor t = randomSparse(3, 3, 32, 0.2, 99);
+    const auto enc = zfnaf::encode(t, 16, 200);
+    const auto counts = zfnaf::nonZeroCountMap(t, 16, 200);
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 3; ++x)
+            for (int b = 0; b < 2; ++b)
+                EXPECT_EQ(counts.at(x, y, b), enc.nonZeroCount(x, y, b));
+}
+
+TEST(Zfnaf, SetBrickValidatesInvariants)
+{
+    cnv::sim::setVerbosity(cnv::sim::Verbosity::Silent);
+    EncodedArray enc({1, 1, 16}, 16);
+    // Zero value rejected.
+    const EncodedNeuron zero{Fixed16{}, 0};
+    EXPECT_THROW(enc.setBrick(0, 0, 0, {&zero, 1}), cnv::sim::FatalError);
+    // Non-increasing offsets rejected.
+    const EncodedNeuron pair[2] = {{Fixed16::fromRaw(1), 3},
+                                   {Fixed16::fromRaw(2), 3}};
+    EXPECT_THROW(enc.setBrick(0, 0, 0, {pair, 2}), cnv::sim::FatalError);
+    // Offset outside the brick rejected.
+    const EncodedNeuron big{Fixed16::fromRaw(1), 16};
+    EXPECT_THROW(enc.setBrick(0, 0, 0, {&big, 1}), cnv::sim::FatalError);
+    cnv::sim::setVerbosity(cnv::sim::Verbosity::Info);
+}
+
+TEST(Zfnaf, BrickGranularIndexingIsAlignmentPreserving)
+{
+    // Bricks can be addressed with just the coordinates of their
+    // first neuron — the property CNV needs for direct indexing.
+    const NeuronTensor t = randomSparse(4, 4, 48, 0.5, 13);
+    const EncodedArray enc = zfnaf::encode(t, 16);
+    for (int b = 0; b < 3; ++b) {
+        for (const EncodedNeuron &e : enc.brick(2, 3, b)) {
+            EXPECT_EQ(t.at(2, 3, b * 16 + e.offset), e.value);
+        }
+    }
+}
+
+TEST(Zfnaf, InvalidBrickSizeIsFatal)
+{
+    cnv::sim::setVerbosity(cnv::sim::Verbosity::Silent);
+    EXPECT_THROW(EncodedArray({1, 1, 16}, 0), cnv::sim::FatalError);
+    EXPECT_THROW(EncodedArray({1, 1, 16}, 257), cnv::sim::FatalError);
+    cnv::sim::setVerbosity(cnv::sim::Verbosity::Info);
+}
+
+} // namespace
