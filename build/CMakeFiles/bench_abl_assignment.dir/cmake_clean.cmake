@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_assignment.dir/bench/bench_abl_assignment.cc.o"
+  "CMakeFiles/bench_abl_assignment.dir/bench/bench_abl_assignment.cc.o.d"
+  "bench/bench_abl_assignment"
+  "bench/bench_abl_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

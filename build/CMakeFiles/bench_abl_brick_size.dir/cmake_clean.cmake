@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_brick_size.dir/bench/bench_abl_brick_size.cc.o"
+  "CMakeFiles/bench_abl_brick_size.dir/bench/bench_abl_brick_size.cc.o.d"
+  "bench/bench_abl_brick_size"
+  "bench/bench_abl_brick_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_brick_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

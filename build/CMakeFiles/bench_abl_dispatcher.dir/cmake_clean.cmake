@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dispatcher.dir/bench/bench_abl_dispatcher.cc.o"
+  "CMakeFiles/bench_abl_dispatcher.dir/bench/bench_abl_dispatcher.cc.o.d"
+  "bench/bench_abl_dispatcher"
+  "bench/bench_abl_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

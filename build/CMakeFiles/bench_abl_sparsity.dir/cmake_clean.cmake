@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sparsity.dir/bench/bench_abl_sparsity.cc.o"
+  "CMakeFiles/bench_abl_sparsity.dir/bench/bench_abl_sparsity.cc.o.d"
+  "bench/bench_abl_sparsity"
+  "bench/bench_abl_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fc.dir/bench/bench_ext_fc.cc.o"
+  "CMakeFiles/bench_ext_fc.dir/bench/bench_ext_fc.cc.o.d"
+  "bench/bench_ext_fc"
+  "bench/bench_ext_fc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

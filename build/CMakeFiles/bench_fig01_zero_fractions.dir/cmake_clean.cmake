@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_zero_fractions.dir/bench/bench_fig01_zero_fractions.cc.o"
+  "CMakeFiles/bench_fig01_zero_fractions.dir/bench/bench_fig01_zero_fractions.cc.o.d"
+  "bench/bench_fig01_zero_fractions"
+  "bench/bench_fig01_zero_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_zero_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

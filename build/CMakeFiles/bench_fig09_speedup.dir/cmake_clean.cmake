@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_speedup.dir/bench/bench_fig09_speedup.cc.o"
+  "CMakeFiles/bench_fig09_speedup.dir/bench/bench_fig09_speedup.cc.o.d"
+  "bench/bench_fig09_speedup"
+  "bench/bench_fig09_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_edp.dir/bench/bench_fig13_edp.cc.o"
+  "CMakeFiles/bench_fig13_edp.dir/bench/bench_fig13_edp.cc.o.d"
+  "bench/bench_fig13_edp"
+  "bench/bench_fig13_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_pruning_pareto.cc" "CMakeFiles/bench_fig14_pruning_pareto.dir/bench/bench_fig14_pruning_pareto.cc.o" "gcc" "CMakeFiles/bench_fig14_pruning_pareto.dir/bench/bench_fig14_pruning_pareto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/cnv_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/cnv_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cnv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/cnv_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cnv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dadiannao/CMakeFiles/cnv_dadiannao.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfnaf/CMakeFiles/cnv_zfnaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_thresholds.dir/bench/bench_tab02_thresholds.cc.o"
+  "CMakeFiles/bench_tab02_thresholds.dir/bench/bench_tab02_thresholds.cc.o.d"
+  "bench/bench_tab02_thresholds"
+  "bench/bench_tab02_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

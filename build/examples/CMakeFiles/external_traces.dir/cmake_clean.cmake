@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_traces.dir/external_traces.cpp.o"
+  "CMakeFiles/external_traces.dir/external_traces.cpp.o.d"
+  "external_traces"
+  "external_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

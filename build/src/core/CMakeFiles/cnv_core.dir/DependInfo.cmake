@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dispatcher.cc" "src/core/CMakeFiles/cnv_core.dir/dispatcher.cc.o" "gcc" "src/core/CMakeFiles/cnv_core.dir/dispatcher.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/core/CMakeFiles/cnv_core.dir/encoder.cc.o" "gcc" "src/core/CMakeFiles/cnv_core.dir/encoder.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/cnv_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/cnv_core.dir/node.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/cnv_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/cnv_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/unit.cc" "src/core/CMakeFiles/cnv_core.dir/unit.cc.o" "gcc" "src/core/CMakeFiles/cnv_core.dir/unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dadiannao/CMakeFiles/cnv_dadiannao.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfnaf/CMakeFiles/cnv_zfnaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

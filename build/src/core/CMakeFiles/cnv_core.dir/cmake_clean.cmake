@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_core.dir/dispatcher.cc.o"
+  "CMakeFiles/cnv_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/cnv_core.dir/encoder.cc.o"
+  "CMakeFiles/cnv_core.dir/encoder.cc.o.d"
+  "CMakeFiles/cnv_core.dir/node.cc.o"
+  "CMakeFiles/cnv_core.dir/node.cc.o.d"
+  "CMakeFiles/cnv_core.dir/pipeline.cc.o"
+  "CMakeFiles/cnv_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/cnv_core.dir/unit.cc.o"
+  "CMakeFiles/cnv_core.dir/unit.cc.o.d"
+  "libcnv_core.a"
+  "libcnv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

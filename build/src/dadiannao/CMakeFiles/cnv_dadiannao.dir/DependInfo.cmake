@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dadiannao/config.cc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/config.cc.o" "gcc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/config.cc.o.d"
+  "/root/repo/src/dadiannao/nfu.cc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/nfu.cc.o" "gcc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/nfu.cc.o.d"
+  "/root/repo/src/dadiannao/node.cc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/node.cc.o" "gcc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/node.cc.o.d"
+  "/root/repo/src/dadiannao/other_layers.cc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/other_layers.cc.o" "gcc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/other_layers.cc.o.d"
+  "/root/repo/src/dadiannao/pipeline.cc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/pipeline.cc.o" "gcc" "src/dadiannao/CMakeFiles/cnv_dadiannao.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cnv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

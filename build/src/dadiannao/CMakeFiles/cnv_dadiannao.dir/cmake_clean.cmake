@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_dadiannao.dir/config.cc.o"
+  "CMakeFiles/cnv_dadiannao.dir/config.cc.o.d"
+  "CMakeFiles/cnv_dadiannao.dir/nfu.cc.o"
+  "CMakeFiles/cnv_dadiannao.dir/nfu.cc.o.d"
+  "CMakeFiles/cnv_dadiannao.dir/node.cc.o"
+  "CMakeFiles/cnv_dadiannao.dir/node.cc.o.d"
+  "CMakeFiles/cnv_dadiannao.dir/other_layers.cc.o"
+  "CMakeFiles/cnv_dadiannao.dir/other_layers.cc.o.d"
+  "CMakeFiles/cnv_dadiannao.dir/pipeline.cc.o"
+  "CMakeFiles/cnv_dadiannao.dir/pipeline.cc.o.d"
+  "libcnv_dadiannao.a"
+  "libcnv_dadiannao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_dadiannao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_driver.dir/driver.cc.o"
+  "CMakeFiles/cnv_driver.dir/driver.cc.o.d"
+  "CMakeFiles/cnv_driver.dir/stats_report.cc.o"
+  "CMakeFiles/cnv_driver.dir/stats_report.cc.o.d"
+  "libcnv_driver.a"
+  "libcnv_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvsim.dir/cnvsim_main.cc.o"
+  "CMakeFiles/cnvsim.dir/cnvsim_main.cc.o.d"
+  "cnvsim"
+  "cnvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/cnv_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/cnv_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/cnv_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/trace.cc" "src/nn/CMakeFiles/cnv_nn.dir/trace.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/trace.cc.o.d"
+  "/root/repo/src/nn/zoo/alexnet.cc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/alexnet.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/alexnet.cc.o.d"
+  "/root/repo/src/nn/zoo/googlenet.cc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/googlenet.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/googlenet.cc.o.d"
+  "/root/repo/src/nn/zoo/nin.cc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/nin.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/nin.cc.o.d"
+  "/root/repo/src/nn/zoo/vgg.cc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/vgg.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/vgg.cc.o.d"
+  "/root/repo/src/nn/zoo/zoo.cc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/zoo.cc.o" "gcc" "src/nn/CMakeFiles/cnv_nn.dir/zoo/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cnv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_nn.dir/layer.cc.o"
+  "CMakeFiles/cnv_nn.dir/layer.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/network.cc.o"
+  "CMakeFiles/cnv_nn.dir/network.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/ops.cc.o"
+  "CMakeFiles/cnv_nn.dir/ops.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/trace.cc.o"
+  "CMakeFiles/cnv_nn.dir/trace.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/zoo/alexnet.cc.o"
+  "CMakeFiles/cnv_nn.dir/zoo/alexnet.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/zoo/googlenet.cc.o"
+  "CMakeFiles/cnv_nn.dir/zoo/googlenet.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/zoo/nin.cc.o"
+  "CMakeFiles/cnv_nn.dir/zoo/nin.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/zoo/vgg.cc.o"
+  "CMakeFiles/cnv_nn.dir/zoo/vgg.cc.o.d"
+  "CMakeFiles/cnv_nn.dir/zoo/zoo.cc.o"
+  "CMakeFiles/cnv_nn.dir/zoo/zoo.cc.o.d"
+  "libcnv_nn.a"
+  "libcnv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

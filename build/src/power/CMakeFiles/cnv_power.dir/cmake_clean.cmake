@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_power.dir/model.cc.o"
+  "CMakeFiles/cnv_power.dir/model.cc.o.d"
+  "libcnv_power.a"
+  "libcnv_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

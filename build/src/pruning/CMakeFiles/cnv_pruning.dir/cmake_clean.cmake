@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_pruning.dir/explore.cc.o"
+  "CMakeFiles/cnv_pruning.dir/explore.cc.o.d"
+  "libcnv_pruning.a"
+  "libcnv_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcnv_pruning.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_sim.dir/engine.cc.o"
+  "CMakeFiles/cnv_sim.dir/engine.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/logging.cc.o"
+  "CMakeFiles/cnv_sim.dir/logging.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/rng.cc.o"
+  "CMakeFiles/cnv_sim.dir/rng.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/stats.cc.o"
+  "CMakeFiles/cnv_sim.dir/stats.cc.o.d"
+  "CMakeFiles/cnv_sim.dir/table.cc.o"
+  "CMakeFiles/cnv_sim.dir/table.cc.o.d"
+  "libcnv_sim.a"
+  "libcnv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_tensor.dir/serialize.cc.o"
+  "CMakeFiles/cnv_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/cnv_tensor.dir/tensor.cc.o"
+  "CMakeFiles/cnv_tensor.dir/tensor.cc.o.d"
+  "libcnv_tensor.a"
+  "libcnv_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_timing.dir/conv_model.cc.o"
+  "CMakeFiles/cnv_timing.dir/conv_model.cc.o.d"
+  "CMakeFiles/cnv_timing.dir/multinode.cc.o"
+  "CMakeFiles/cnv_timing.dir/multinode.cc.o.d"
+  "CMakeFiles/cnv_timing.dir/network_model.cc.o"
+  "CMakeFiles/cnv_timing.dir/network_model.cc.o.d"
+  "libcnv_timing.a"
+  "libcnv_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnv_zfnaf.dir/format.cc.o"
+  "CMakeFiles/cnv_zfnaf.dir/format.cc.o.d"
+  "libcnv_zfnaf.a"
+  "libcnv_zfnaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnv_zfnaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_driver.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_driver.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_multinode.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_multinode.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_power.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_power.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_power_params.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_power_params.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_pruning.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_pruning.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats_report.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats_report.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_timing.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_timing.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_trace_provider.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_trace_provider.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

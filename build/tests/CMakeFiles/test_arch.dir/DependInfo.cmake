@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/test_baseline.cc" "tests/CMakeFiles/test_arch.dir/arch/test_baseline.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_baseline.cc.o.d"
+  "/root/repo/tests/arch/test_baseline_extra.cc" "tests/CMakeFiles/test_arch.dir/arch/test_baseline_extra.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_baseline_extra.cc.o.d"
+  "/root/repo/tests/arch/test_baseline_pipeline.cc" "tests/CMakeFiles/test_arch.dir/arch/test_baseline_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_baseline_pipeline.cc.o.d"
+  "/root/repo/tests/arch/test_cnv.cc" "tests/CMakeFiles/test_arch.dir/arch/test_cnv.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_cnv.cc.o.d"
+  "/root/repo/tests/arch/test_config.cc" "tests/CMakeFiles/test_arch.dir/arch/test_config.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_config.cc.o.d"
+  "/root/repo/tests/arch/test_cross_validation.cc" "tests/CMakeFiles/test_arch.dir/arch/test_cross_validation.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_cross_validation.cc.o.d"
+  "/root/repo/tests/arch/test_lane_widths.cc" "tests/CMakeFiles/test_arch.dir/arch/test_lane_widths.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_lane_widths.cc.o.d"
+  "/root/repo/tests/arch/test_microarch.cc" "tests/CMakeFiles/test_arch.dir/arch/test_microarch.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_microarch.cc.o.d"
+  "/root/repo/tests/arch/test_node_property.cc" "tests/CMakeFiles/test_arch.dir/arch/test_node_property.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_node_property.cc.o.d"
+  "/root/repo/tests/arch/test_other_layers.cc" "tests/CMakeFiles/test_arch.dir/arch/test_other_layers.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_other_layers.cc.o.d"
+  "/root/repo/tests/arch/test_pipeline.cc" "tests/CMakeFiles/test_arch.dir/arch/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_pipeline.cc.o.d"
+  "/root/repo/tests/arch/test_property_sweep.cc" "tests/CMakeFiles/test_arch.dir/arch/test_property_sweep.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/test_property_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/cnv_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/cnv_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cnv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/cnv_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cnv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dadiannao/CMakeFiles/cnv_dadiannao.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfnaf/CMakeFiles/cnv_zfnaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_baseline.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_baseline.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_baseline_extra.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_baseline_extra.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_baseline_pipeline.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_baseline_pipeline.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_cnv.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_cnv.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_config.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_config.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_cross_validation.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_cross_validation.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_lane_widths.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_lane_widths.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_microarch.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_microarch.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_node_property.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_node_property.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_other_layers.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_other_layers.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_pipeline.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_pipeline.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_property_sweep.cc.o"
+  "CMakeFiles/test_arch.dir/arch/test_property_sweep.cc.o.d"
+  "test_arch"
+  "test_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

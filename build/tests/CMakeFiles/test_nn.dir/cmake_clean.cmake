@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_calibration.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_calibration.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_network.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_ops.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_ops.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_ops_extra.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_ops_extra.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_trace.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_trace.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_zoo_extra.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_zoo_extra.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_engine.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine_extra.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine_extra.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_logging.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_logging.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_table.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_table.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/test_fixed16.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_fixed16.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_serialize.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_serialize.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zfnaf.dir/zfnaf/test_format.cc.o"
+  "CMakeFiles/test_zfnaf.dir/zfnaf/test_format.cc.o.d"
+  "test_zfnaf"
+  "test_zfnaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zfnaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
