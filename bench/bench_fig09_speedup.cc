@@ -65,6 +65,7 @@ main(int argc, char **argv)
 
     sim::Table t({"network", "CNV", "paper CNV (approx)", "CNV+Pruning",
                   "paper CNV+Pruning"});
+    sim::StatGroup fig("fig09");
     double sumPlain = 0.0, sumPruned = 0.0;
     for (auto id : nn::zoo::allNetworks()) {
         const auto net = nn::zoo::build(id, cfg.seed);
@@ -88,10 +89,31 @@ main(int argc, char **argv)
                   sim::Table::num(paperCnv(id)),
                   opts.quick ? "(skipped)" : sim::Table::num(pruned),
                   sim::Table::num(paperCnvPruned(id))});
+
+        auto &g = fig.addGroup(std::string(nn::zoo::netName(id)));
+        g.addCounter("baselineCycles", "baseline cycles over images") +=
+            plain.baselineCycles;
+        g.addCounter("cnvCycles", "CNV cycles over images") +=
+            plain.cnvCycles;
+        g.addScalar("speedup", "measured CNV speedup") = plain.speedup();
+        g.addScalar("paperSpeedup", "paper's Figure 9 bar (approx)") =
+            paperCnv(id);
+        if (!opts.quick)
+            g.addScalar("prunedSpeedup", "measured CNV+Pruning speedup") =
+                pruned;
+        g.addScalar("paperPrunedSpeedup", "paper's Table II speedup") =
+            paperCnvPruned(id);
     }
     t.addRow({"average", sim::Table::num(sumPlain / 6), "1.37",
               opts.quick ? "(skipped)" : sim::Table::num(sumPruned / 6),
               "1.52"});
+    fig.addScalar("averageSpeedup", "arithmetic mean of CNV speedups") =
+        sumPlain / 6;
+    if (!opts.quick)
+        fig.addScalar("averagePrunedSpeedup",
+                      "arithmetic mean of CNV+Pruning speedups") =
+            sumPruned / 6;
     bench::emit(opts, "Figure 9: speedup of CNV over the baseline", t);
+    bench::writeFigureArtifact(opts, "fig09_speedup", cfg.node, fig);
     return 0;
 }

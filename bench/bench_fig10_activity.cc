@@ -39,6 +39,21 @@ main(int argc, char **argv)
 
     sim::Table t({"network/arch", "other", "conv1", "non-zero", "zero",
                   "stall", "total (vs. baseline)"});
+    sim::StatGroup fig("fig10");
+    auto fillActivity = [](sim::StatGroup &g,
+                           const dadiannao::Activity &a, double norm) {
+        g.addCounter("other", "lane events in non-conv layers") += a.other;
+        g.addCounter("conv1", "lane events in the first conv layer") +=
+            a.conv1;
+        g.addCounter("nonZero", "lane events on non-zero neurons") +=
+            a.nonZero;
+        g.addCounter("zero", "lane events on zero neurons") += a.zero;
+        g.addCounter("stall", "lane events idle on window sync") +=
+            a.stall;
+        g.addScalar("totalVsBaseline",
+                    "total events normalised to the baseline's") =
+            static_cast<double>(a.total()) / norm;
+    };
     for (auto id : nn::zoo::allNetworks()) {
         const auto report = driver::evaluateZooNetwork(cfg, id);
         const double norm =
@@ -47,11 +62,17 @@ main(int argc, char **argv)
                               report.baselineActivity, norm));
         t.addRow(breakdownRow(std::string(nn::zoo::netName(id)) + " (c)",
                               report.cnvActivity, norm));
+
+        auto &g = fig.addGroup(std::string(nn::zoo::netName(id)));
+        fillActivity(g.addGroup("baseline"), report.baselineActivity,
+                     norm);
+        fillActivity(g.addGroup("cnv"), report.cnvActivity, norm);
     }
     bench::emit(opts,
                 "Figure 10: execution activity breakdown, CNV (c) "
                 "normalised to baseline (b)",
                 t);
+    bench::writeFigureArtifact(opts, "fig10_activity", cfg.node, fig);
 
     std::cout << "\nPaper observations to compare against: conv layers\n"
                  "(conv1 + zero + non-zero) dominate baseline activity on\n"

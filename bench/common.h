@@ -10,6 +10,8 @@
  *   --seed S     root seed
  *   --csv        emit CSV instead of an aligned table
  *   --quick      minimal work (used for smoke runs)
+ *   --json PATH  also write the figure's data as a JSON artifact
+ *                (schema "cnv-figure-v1", see docs/observability.md)
  */
 
 #ifndef CNV_BENCH_COMMON_H
@@ -17,10 +19,14 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "driver/driver.h"
+#include "driver/run_manifest.h"
+#include "sim/stats_export.h"
 #include "sim/table.h"
 
 namespace cnv::bench {
@@ -32,32 +38,50 @@ struct Options
     std::uint64_t seed = 2016;
     bool csv = false;
     bool quick = false;
+    /** When non-empty, figure data is also written here as JSON. */
+    std::string json;
 };
 
 inline Options
 parseArgs(int argc, char **argv, int defaultImages = 2)
 {
+    // Accept both "--flag value" and "--flag=value" spellings.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const std::size_t eq = a.find('=');
+        if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
     Options opts;
     opts.images = defaultImages;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc) {
+            if (i + 1 >= args.size()) {
                 std::cerr << "missing value for " << arg << '\n';
                 std::exit(2);
             }
-            return argv[++i];
+            return args[++i];
         };
         if (arg == "--images") {
             opts.images = std::stoi(next());
         } else if (arg == "--seed") {
             opts.seed = std::stoull(next());
+        } else if (arg == "--json") {
+            opts.json = next();
         } else if (arg == "--csv") {
             opts.csv = true;
         } else if (arg == "--quick") {
             opts.quick = true;
         } else if (arg == "--help") {
-            std::cout << "options: --images N --seed S --csv --quick\n";
+            std::cout << "options: --images N --seed S --csv --quick "
+                         "--json PATH\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option " << arg << '\n';
@@ -84,6 +108,50 @@ emit(const Options &opts, const std::string &title, const sim::Table &table)
     else
         table.print(std::cout);
     std::cout.flush();
+}
+
+/**
+ * Write a figure's data (a stat tree assembled by the bench binary)
+ * as a JSON artifact when --json was given:
+ *
+ *   { "schema": "cnv-figure-v1",
+ *     "figure": "<figure>",
+ *     "manifest": { ... RunManifest ... },
+ *     "data": <sim::exportJson tree> }
+ *
+ * The same exporter the driver reports use serializes the tree, so
+ * plotting scripts consume one schema for both kinds of file.
+ */
+inline void
+writeFigureArtifact(const Options &opts, const std::string &figure,
+                    const dadiannao::NodeConfig &node,
+                    const sim::StatGroup &data)
+{
+    if (opts.json.empty())
+        return;
+    std::ofstream os(opts.json);
+    if (!os) {
+        std::cerr << "cannot open JSON artifact file " << opts.json
+                  << '\n';
+        std::exit(1);
+    }
+    driver::RunManifest manifest = driver::makeManifest(figure);
+    manifest.network = "(all zoo networks)";
+    manifest.nodeConfig = node.describe();
+    manifest.images = opts.images;
+    manifest.seed = opts.seed;
+
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("cnv-figure-v1");
+    w.key("figure").value(figure);
+    w.key("manifest");
+    manifest.writeJson(w);
+    w.key("data");
+    sim::exportJson(data, w);
+    w.endObject();
+    os << '\n';
+    std::cout << "wrote JSON artifact to " << opts.json << '\n';
 }
 
 } // namespace cnv::bench

@@ -88,6 +88,40 @@ Dispatcher::evaluate(sim::Cycle cycle)
             ++nmReads_;
         }
     }
+
+    // Observability: sample BB occupancy once per active cycle
+    // (post-broadcast, so a drained-and-refilled entry counts once).
+    if (!done()) {
+        for (int lane = 0; lane < cfg_.lanes; ++lane)
+            bbOccupancySum_ += bb_[lane].size();
+        ++bbSampleCycles_;
+    }
+}
+
+double
+Dispatcher::meanBbOccupancy() const
+{
+    return bbSampleCycles_
+        ? static_cast<double>(bbOccupancySum_) /
+              static_cast<double>(bbSampleCycles_)
+        : 0.0;
+}
+
+void
+Dispatcher::attachStats(sim::StatGroup &parent) const
+{
+    sim::StatGroup &g = parent.addGroup("dispatcher");
+    g.addFormula("nmReads", "16-neuron-wide NM reads issued",
+                 [this] { return static_cast<double>(nmReads_); });
+    g.addFormula("bbOccupancy", "mean brick-buffer entries occupied",
+                 [this] { return meanBbOccupancy(); });
+    g.addFormula("stallCycles", "lane-cycles idle while work remained",
+                 [this] {
+                     std::uint64_t total = 0;
+                     for (std::uint64_t s : stalls_)
+                         total += s;
+                     return static_cast<double>(total);
+                 });
 }
 
 void

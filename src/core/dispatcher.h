@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/stats.h"
 #include "zfnaf/format.h"
 
 namespace cnv::core {
@@ -80,6 +81,23 @@ class Dispatcher : public sim::Clocked
     /** 16-neuron-wide NM reads issued (one per brick fetch). */
     std::uint64_t nmReads() const { return nmReads_; }
 
+    /** BB entries occupied, summed over every sampled cycle. */
+    std::uint64_t bbOccupancySum() const { return bbOccupancySum_; }
+
+    /** Cycles over which the BB occupancy was sampled. */
+    std::uint64_t bbSampleCycles() const { return bbSampleCycles_; }
+
+    /** Mean bricks resident in the BB while the dispatcher ran. */
+    double meanBbOccupancy() const;
+
+    /**
+     * Register this dispatcher's observability statistics as a
+     * nested "dispatcher" group of @p parent (formulas reading the
+     * live counters — see docs/observability.md for the pattern).
+     * The dispatcher must outlive the group.
+     */
+    void attachStats(sim::StatGroup &parent) const;
+
   private:
     DispatcherConfig cfg_;
     /** Per-bank bricks not yet delivered, in processing order. */
@@ -94,6 +112,8 @@ class Dispatcher : public sim::Clocked
     std::vector<std::uint64_t> stalls_;
     std::vector<std::uint32_t> brickSeq_;
     std::uint64_t nmReads_ = 0;
+    std::uint64_t bbOccupancySum_ = 0;
+    std::uint64_t bbSampleCycles_ = 0;
 };
 
 } // namespace cnv::core

@@ -64,6 +64,8 @@ CnvNodeModel::run(const nn::Network &net, const NeuronTensor &input,
             loadStall.activity.other =
                 loadStall.cycles * static_cast<std::uint64_t>(
                                        cfg_.nodeLanes());
+            loadStall.micro.laneIdleCycles =
+                loadStall.cycles * static_cast<std::uint64_t>(cfg_.lanes);
             if (loadStall.cycles > 0)
                 result.timing.layers.push_back(loadStall);
 
@@ -146,6 +148,7 @@ CnvNodeModel::run(const nn::Network &net, const NeuronTensor &input,
         result.final.shape().y == 1) {
         result.top1 = nn::argmax(result.final);
     }
+    result.timing.stampTimeline();
     return result;
 }
 

@@ -107,6 +107,14 @@ runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
     result.output = NeuronTensor(outShape);
 
     EncoderUnit encoder(cfg.brickSize);
+    // One engine per concern, reused across window groups so the
+    // compute timeline is continuous and each group becomes a
+    // measurement region on it. The encoder drains on its own clock
+    // (overlapped with the next group in hardware, so its cycles do
+    // not add to the layer's).
+    sim::Engine engine("cnv-pipeline");
+    sim::Engine encEngine("encoder-drain");
+    encEngine.add(encoder);
 
     std::vector<std::vector<Accum>> acc(
         inFlight, std::vector<Accum>(static_cast<std::size_t>(p.filters)));
@@ -158,11 +166,15 @@ runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
         BackEnd backend(dispatcher, lanes, laneDescs, p, weights,
                         cfg.brickSize, acc);
 
-        sim::Engine engine(sim::strfmt("window-group@{}", w0));
+        engine.clear();
         engine.add(dispatcher);
         engine.add(backend);
+        engine.beginRegion(sim::strfmt("window-group@{}", w0));
         result.cycles += engine.run();
+        engine.endRegion();
         result.nmReads += dispatcher.nmReads();
+        result.bbOccupancySum += dispatcher.bbOccupancySum();
+        result.bbSampleCycles += dispatcher.bbSampleCycles();
 
         // Drain NBout through the encoder, 16 output neurons at a
         // time (serial, overlapped with the next group in hardware).
@@ -184,14 +196,14 @@ runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
                 }
                 CNV_ASSERT(encoder.offer({group.data(), group.size()}),
                            "encoder must be idle between groups");
-                sim::Engine encEngine("encoder");
-                encEngine.add(encoder);
                 encEngine.run();
             }
         }
         result.encoderBusyCycles = encoder.busyCycles();
     }
 
+    result.encoderBricks = encoder.bricks().size();
+    result.regions = engine.regions();
     return result;
 }
 

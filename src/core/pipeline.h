@@ -46,6 +46,26 @@ struct PipelineResult
     std::uint64_t nmReads = 0;
     /** Cycles the encoder spent converting output bricks. */
     std::uint64_t encoderBusyCycles = 0;
+    /** ZFNAf bricks produced by the encoder. */
+    std::uint64_t encoderBricks = 0;
+    /** Dispatcher BB entries occupied, summed per sampled cycle. */
+    std::uint64_t bbOccupancySum = 0;
+    /** Cycles over which the BB occupancy was sampled. */
+    std::uint64_t bbSampleCycles = 0;
+    /**
+     * One measurement region per window group on the pipeline's
+     * continuous timeline ([begin, end) cycle intervals, in order).
+     */
+    std::vector<sim::Region> regions;
+
+    /** Mean bricks resident in the BB while the dispatcher ran. */
+    double
+    meanBbOccupancy() const
+    {
+        return bbSampleCycles ? static_cast<double>(bbOccupancySum) /
+                                    static_cast<double>(bbSampleCycles)
+                              : 0.0;
+    }
 };
 
 /**

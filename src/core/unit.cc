@@ -167,10 +167,16 @@ simulateConvCnv(const NodeConfig &cfg, const nn::ConvParams &p,
                 const std::uint64_t groupCycles =
                     *std::max_element(laneTime.begin(), laneTime.end());
                 cycles += groupCycles;
+                std::uint64_t laneSum = 0;
                 for (int lane = 0; lane < lanes; ++lane) {
+                    laneSum += laneTime[lane];
                     act.stall += (groupCycles - laneTime[lane]) *
                                  static_cast<std::uint64_t>(cfg.units);
                 }
+                result.timing.micro.laneBusyCycles += laneSum;
+                result.timing.micro.laneIdleCycles +=
+                    groupCycles * static_cast<std::uint64_t>(lanes) -
+                    laneSum;
             }
         }
 
@@ -186,6 +192,13 @@ simulateConvCnv(const NodeConfig &cfg, const nn::ConvParams &p,
             }
             en.nmWrites += (p.filters + lanes - 1) / lanes;
             en.encoderOps += static_cast<std::uint64_t>(p.filters);
+            // The per-unit encoder is serial: one output neuron
+            // examined per cycle, packed into brick-sized NM writes.
+            result.timing.micro.encoderBusyCycles +=
+                static_cast<std::uint64_t>(p.filters);
+            result.timing.micro.encoderBricks +=
+                static_cast<std::uint64_t>(
+                    (p.filters + cfg.brickSize - 1) / cfg.brickSize);
         }
     }
 

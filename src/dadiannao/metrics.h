@@ -82,13 +82,78 @@ struct EnergyCounters
     }
 };
 
+/**
+ * Per-layer microarchitecture occupancy detail (observability).
+ *
+ * Lane counts are per unit (multiply by the unit count for node
+ * totals) and partition each layer's cycles: busy + idle =
+ * cycles x lanes wherever the producer models lanes. Encoder fields
+ * are populated for CNV encoded layers; the brick-buffer occupancy
+ * fields only by the structural dispatcher pipeline (the fast
+ * models assume perfect prefetch and do not sample the BB).
+ */
+struct MicroTrace
+{
+    /** Lane-cycles spent draining (value, offset) pairs or blocks. */
+    std::uint64_t laneBusyCycles = 0;
+    /** Lane-cycles idle at window-group synchronisation points. */
+    std::uint64_t laneIdleCycles = 0;
+    /** Cycles the encoder spent converting output bricks (serial). */
+    std::uint64_t encoderBusyCycles = 0;
+    /** ZFNAf output bricks produced by the encoder. */
+    std::uint64_t encoderBricks = 0;
+    /** Dispatcher brick-buffer entries occupied, summed per cycle. */
+    std::uint64_t bbOccupancySum = 0;
+    /** Cycles over which the brick buffer was sampled. */
+    std::uint64_t bbSampleCycles = 0;
+
+    /** Fraction of lane-cycles doing work (1.0 when lock-step). */
+    double
+    laneUtilisation() const
+    {
+        const std::uint64_t total = laneBusyCycles + laneIdleCycles;
+        return total ? static_cast<double>(laneBusyCycles) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Mean brick-buffer occupancy over the sampled cycles. */
+    double
+    meanBbOccupancy() const
+    {
+        return bbSampleCycles ? static_cast<double>(bbOccupancySum) /
+                                    static_cast<double>(bbSampleCycles)
+                              : 0.0;
+    }
+
+    MicroTrace &
+    operator+=(const MicroTrace &o)
+    {
+        laneBusyCycles += o.laneBusyCycles;
+        laneIdleCycles += o.laneIdleCycles;
+        encoderBusyCycles += o.encoderBusyCycles;
+        encoderBricks += o.encoderBricks;
+        bbOccupancySum += o.bbOccupancySum;
+        bbSampleCycles += o.bbSampleCycles;
+        return *this;
+    }
+};
+
 /** Timing/activity result for one layer on one architecture. */
 struct LayerResult
 {
     std::string name;
     std::uint64_t cycles = 0;
+    /**
+     * First cycle of the layer on the run's serialized timeline
+     * (cumulative over the preceding layers; overlap with off-chip
+     * loads is already folded into each layer's exposed cycles).
+     * Stamped by NetworkResult::stampTimeline().
+     */
+    std::uint64_t startCycle = 0;
     Activity activity;
     EnergyCounters energy;
+    MicroTrace micro;
 };
 
 /** Whole-network result. */
@@ -123,6 +188,30 @@ struct NetworkResult
         for (const LayerResult &l : layers)
             e += l.energy;
         return e;
+    }
+
+    MicroTrace
+    totalMicro() const
+    {
+        MicroTrace m;
+        for (const LayerResult &l : layers)
+            m += l.micro;
+        return m;
+    }
+
+    /**
+     * Assign each layer's startCycle as the cumulative sum of the
+     * preceding layers' cycles (the serialized run timeline). Called
+     * by the network-level model builders once all layers exist.
+     */
+    void
+    stampTimeline()
+    {
+        std::uint64_t now = 0;
+        for (LayerResult &l : layers) {
+            l.startCycle = now;
+            now += l.cycles;
+        }
     }
 };
 

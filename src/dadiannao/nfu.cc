@@ -169,6 +169,10 @@ simulateConvBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
     }
 
     result.timing.cycles = cycles;
+    // Lock-step broadcast: every lane is occupied every cycle (the
+    // zero/non-zero split lives in the activity categories).
+    result.timing.micro.laneBusyCycles =
+        cycles * static_cast<std::uint64_t>(lanes);
     return result;
 }
 

@@ -41,6 +41,8 @@ NodeModel::run(const nn::Network &net, const NeuronTensor &input) const
             loadStall.activity.other =
                 loadStall.cycles * static_cast<std::uint64_t>(
                                        cfg_.nodeLanes());
+            loadStall.micro.laneIdleCycles =
+                loadStall.cycles * static_cast<std::uint64_t>(cfg_.lanes);
             if (loadStall.cycles > 0)
                 result.timing.layers.push_back(loadStall);
 
@@ -102,6 +104,7 @@ NodeModel::run(const nn::Network &net, const NeuronTensor &input) const
         result.final.shape().y == 1) {
         result.top1 = nn::argmax(result.final);
     }
+    result.timing.stampTimeline();
     return result;
 }
 

@@ -44,6 +44,10 @@ otherLayerTiming(const NodeConfig &cfg, const nn::Node &node,
         static_cast<std::uint64_t>(cfg.nodeLanes());
     std::uint64_t inputReads = 0;
     std::uint64_t cycles = 0;
+    // Cycles in which the lanes do datapath work; the remainder (FC
+    // layers bound by the synapse stream) is exposed memory time.
+    std::uint64_t busyCycles = 0;
+    bool memoryBound = false;
 
     switch (node.kind) {
       case nn::NodeKind::Pool: {
@@ -82,6 +86,8 @@ otherLayerTiming(const NodeConfig &cfg, const nn::Node &node,
         // Streaming: compute proceeds as synapses arrive, so the
         // layer takes the slower of datapath and exposed memory time.
         cycles = std::max(compute, exposed);
+        busyCycles = compute;
+        memoryBound = true;
         inputReads = volume * passes;
         result.energy.sbReads +=
             node.synapses() / 16; // each synapse used once, 16-wide
@@ -107,6 +113,12 @@ otherLayerTiming(const NodeConfig &cfg, const nn::Node &node,
 
     result.cycles = cycles;
     result.activity.other = cycles * nodeLanes;
+    if (!memoryBound)
+        busyCycles = cycles;
+    result.micro.laneBusyCycles =
+        busyCycles * static_cast<std::uint64_t>(cfg.lanes);
+    result.micro.laneIdleCycles =
+        (cycles - busyCycles) * static_cast<std::uint64_t>(cfg.lanes);
     if (node.kind != nn::NodeKind::Concat &&
         node.kind != nn::NodeKind::Input) {
         result.energy.nmReads += inputReads / cfg.lanes;

@@ -18,9 +18,17 @@
  *   --stats        dump the full statistics tree (gem5-style)
  *   --layers       per-layer cycle table (run)
  *   --floor F      accuracy floor for prune (default 1.0)
+ *   --report-json PATH   write the run report (manifest + per-layer
+ *                        timelines + summary) as JSON (run)
+ *   --report-csv PATH    same report as CSV rows (run)
+ *
+ * Options accept both "--flag value" and "--flag=value" spellings.
+ * The report schema is documented in docs/observability.md.
  */
 
+#include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -35,6 +43,7 @@
 #include "nn/zoo/zoo.h"
 #include "pruning/explore.h"
 #include "sim/error.h"
+#include "sim/logging.h"
 #include "sim/table.h"
 #include "timing/network_model.h"
 
@@ -51,6 +60,8 @@ struct CliOptions
     bool layers = false;
     double floor = 1.0;
     std::string out = "traces";
+    std::string reportJson;
+    std::string reportCsv;
 };
 
 [[noreturn]] void
@@ -62,15 +73,29 @@ usage()
         "            export-traces | reproduce\n"
         "  networks: alex google nin vgg19 cnnM cnnS\n"
         "  options : --images N --seed S --scale K --stats --layers\n"
-        "            --floor F\n";
+        "            --floor F --report-json PATH --report-csv PATH\n";
     std::exit(2);
 }
 
 CliOptions
-parseOptions(const std::vector<std::string> &args, std::size_t start)
+parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
 {
+    // Normalise "--flag=value" into "--flag value" so both spellings
+    // work everywhere.
+    std::vector<std::string> args;
+    for (std::size_t i = start; i < rawArgs.size(); ++i) {
+        const std::string &a = rawArgs[i];
+        const std::size_t eq = a.find('=');
+        if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
     CliOptions opts;
-    for (std::size_t i = start; i < args.size(); ++i) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
         auto next = [&]() -> const std::string & {
             if (i + 1 >= args.size())
                 usage();
@@ -86,6 +111,10 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             opts.floor = std::stod(next());
         else if (args[i] == "--out")
             opts.out = next();
+        else if (args[i] == "--report-json")
+            opts.reportJson = next();
+        else if (args[i] == "--report-csv")
+            opts.reportCsv = next();
         else if (args[i] == "--stats")
             opts.stats = true;
         else if (args[i] == "--layers")
@@ -94,6 +123,37 @@ parseOptions(const std::vector<std::string> &args, std::size_t start)
             usage();
     }
     return opts;
+}
+
+/** Write one run report to the paths requested on the command line. */
+void
+writeReports(const CliOptions &opts, const driver::ExperimentConfig &cfg,
+             const nn::Network &net,
+             std::chrono::steady_clock::time_point t0)
+{
+    if (opts.reportJson.empty() && opts.reportCsv.empty())
+        return;
+    driver::RunReport report = driver::buildRunReport(cfg, net);
+    report.manifest.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    auto open = [](const std::string &path) {
+        std::ofstream os(path);
+        if (!os)
+            CNV_FATAL("cannot open report file '{}'", path);
+        return os;
+    };
+    if (!opts.reportJson.empty()) {
+        auto os = open(opts.reportJson);
+        driver::writeReportJson(report, os);
+        std::cout << "wrote JSON report to " << opts.reportJson << '\n';
+    }
+    if (!opts.reportCsv.empty()) {
+        auto os = open(opts.reportCsv);
+        driver::writeReportCsv(report, os);
+        std::cout << "wrote CSV report to " << opts.reportCsv << '\n';
+    }
 }
 
 int
@@ -117,6 +177,7 @@ cmdList()
 int
 cmdRun(nn::zoo::NetId id, const CliOptions &opts)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
@@ -166,6 +227,8 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
         driver::buildStats(b, power::Arch::Baseline)->dump(std::cout);
         driver::buildStats(c, power::Arch::Cnv)->dump(std::cout);
     }
+
+    writeReports(opts, cfg, *net, t0);
     return 0;
 }
 

@@ -1,0 +1,49 @@
+#include "driver/run_manifest.h"
+
+#ifndef CNV_GIT_SHA
+#define CNV_GIT_SHA "unknown"
+#endif
+#ifndef CNV_VERSION
+#define CNV_VERSION "0.0.0"
+#endif
+
+namespace cnv::driver {
+
+void
+RunManifest::writeJson(sim::JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("tool").value(tool);
+    w.key("gitSha").value(gitSha);
+    w.key("version").value(version);
+    w.key("network").value(network);
+    w.key("nodeConfig").value(nodeConfig);
+    w.key("images").value(images);
+    w.key("seed").value(static_cast<std::uint64_t>(seed));
+    w.key("wallSeconds").value(wallSeconds);
+    w.endObject();
+}
+
+std::string
+buildGitSha()
+{
+    return CNV_GIT_SHA;
+}
+
+std::string
+buildVersion()
+{
+    return CNV_VERSION;
+}
+
+RunManifest
+makeManifest(std::string tool)
+{
+    RunManifest m;
+    m.tool = std::move(tool);
+    m.gitSha = buildGitSha();
+    m.version = buildVersion();
+    return m;
+}
+
+} // namespace cnv::driver

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.h"
+#include "sim/stats_export.h"
+#include "timing/network_model.h"
 
 namespace cnv::driver {
 
@@ -45,6 +47,25 @@ fillEnergy(sim::StatGroup &g, const dadiannao::EnergyCounters &e)
         e.offchipBytes;
 }
 
+void
+fillMicro(sim::StatGroup &g, const dadiannao::MicroTrace &m)
+{
+    g.addCounter("laneBusyCycles",
+                 "per-unit lane-cycles doing datapath work") +=
+        m.laneBusyCycles;
+    g.addCounter("laneIdleCycles",
+                 "per-unit lane-cycles idle (sync or memory)") +=
+        m.laneIdleCycles;
+    g.addCounter("encoderBusyCycles",
+                 "cycles the serial encoder spent converting") +=
+        m.encoderBusyCycles;
+    g.addCounter("encoderBricks", "ZFNAf bricks the encoder produced") +=
+        m.encoderBricks;
+    g.addFormula("laneUtilisation",
+                 "busy fraction of modelled lane-cycles",
+                 [m] { return m.laneUtilisation(); });
+}
+
 } // namespace
 
 std::unique_ptr<sim::StatGroup>
@@ -59,6 +80,7 @@ buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
     const dadiannao::Activity activity = result.totalActivity();
     fillActivity(root->addGroup("activity"), activity);
     fillEnergy(root->addGroup("energy"), result.totalEnergy());
+    fillMicro(root->addGroup("micro"), result.totalMicro());
 
     // Derived quantities the paper reasons about.
     const double total = static_cast<double>(activity.total());
@@ -103,9 +125,104 @@ buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
         auto &g = layers.addGroup(
             sim::strfmt("L{}_{}", index++, sanitize(layer.name)));
         g.addCounter("cycles", "layer cycles") += layer.cycles;
+        g.addCounter("startCycle",
+                     "layer's first cycle on the run timeline") +=
+            layer.startCycle;
         fillActivity(g.addGroup("activity"), layer.activity);
+        fillEnergy(g.addGroup("energy"), layer.energy);
+        fillMicro(g.addGroup("micro"), layer.micro);
     }
     return root;
+}
+
+RunReport
+buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
+               const nn::PruneConfig *prune)
+{
+    RunReport report;
+    report.manifest = makeManifest("cnvsim");
+    report.manifest.network = net.name();
+    report.manifest.nodeConfig = cfg.node.describe();
+    report.manifest.images = cfg.images;
+    report.manifest.seed = cfg.seed;
+
+    timing::RunOptions opts;
+    opts.imageSeed = cfg.seed;
+    opts.prune = prune;
+    report.baseline = timing::simulateNetwork(
+        cfg.node, net, timing::Arch::Baseline, opts);
+    report.cnv =
+        timing::simulateNetwork(cfg.node, net, timing::Arch::Cnv, opts);
+    report.aggregate = evaluateNetwork(cfg, net, prune);
+    return report;
+}
+
+void
+writeReportJson(const RunReport &report, std::ostream &os)
+{
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("cnv-report-v1");
+    w.key("manifest");
+    report.manifest.writeJson(w);
+
+    w.key("architectures").beginObject();
+    const auto baseTree = buildStats(report.baseline,
+                                     power::Arch::Baseline);
+    w.key(baseTree->name());
+    sim::exportJson(*baseTree, w);
+    const auto cnvTree = buildStats(report.cnv, power::Arch::Cnv);
+    w.key(cnvTree->name());
+    sim::exportJson(*cnvTree, w);
+    w.endObject();
+
+    w.key("summary").beginObject();
+    w.key("images").value(report.aggregate.images);
+    w.key("baselineCycles").value(report.aggregate.baselineCycles);
+    w.key("cnvCycles").value(report.aggregate.cnvCycles);
+    w.key("speedup").value(report.aggregate.speedup());
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+    CNV_ASSERT(w.complete(), "report document left unbalanced");
+}
+
+void
+writeReportCsv(const RunReport &report, std::ostream &os)
+{
+    os << "path,kind,value,description\n";
+    auto manifestRow = [&os](const char *field, const std::string &v,
+                             const char *desc) {
+        os << "manifest." << field << ",manifest," << sim::csvQuote(v)
+           << ',' << sim::csvQuote(desc) << '\n';
+    };
+    const RunManifest &m = report.manifest;
+    manifestRow("tool", m.tool, "binary that produced the report");
+    manifestRow("gitSha", m.gitSha, "configure-time git commit");
+    manifestRow("version", m.version, "project version");
+    manifestRow("network", m.network, "network evaluated");
+    manifestRow("nodeConfig", m.nodeConfig, "node configuration");
+    manifestRow("images", std::to_string(m.images), "images evaluated");
+    manifestRow("seed", std::to_string(m.seed), "root seed");
+    manifestRow("wallSeconds", sim::strfmt("{}", m.wallSeconds),
+                "wall-clock duration of the run");
+
+    sim::exportCsv(*buildStats(report.baseline, power::Arch::Baseline),
+                   os, "", /*header=*/false);
+    sim::exportCsv(*buildStats(report.cnv, power::Arch::Cnv), os, "",
+                   /*header=*/false);
+
+    os << "summary.images,summary," << report.aggregate.images
+       << ",images aggregated\n";
+    os << "summary.baselineCycles,summary,"
+       << report.aggregate.baselineCycles
+       << ",baseline cycles summed over images\n";
+    os << "summary.cnvCycles,summary," << report.aggregate.cnvCycles
+       << ",CNV cycles summed over images\n";
+    os << "summary.speedup,summary,"
+       << sim::strfmt("{}", report.aggregate.speedup())
+       << ",baseline/CNV cycle ratio\n";
 }
 
 } // namespace cnv::driver

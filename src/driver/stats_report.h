@@ -2,15 +2,20 @@
  * @file
  * Bridges simulation results into the sim::StatGroup framework so
  * embedding applications (and the cnvsim CLI) can dump or query
- * every measured quantity by name, gem5-style.
+ * every measured quantity by name, gem5-style — and serializes the
+ * whole run (manifest + both architectures + summary) as the JSON /
+ * CSV report documented in docs/observability.md.
  */
 
 #ifndef CNV_DRIVER_STATS_REPORT_H
 #define CNV_DRIVER_STATS_REPORT_H
 
 #include <memory>
+#include <ostream>
 
 #include "dadiannao/metrics.h"
+#include "driver/driver.h"
+#include "driver/run_manifest.h"
 #include "power/model.h"
 #include "sim/stats.h"
 
@@ -21,13 +26,62 @@ namespace cnv::driver {
  *
  *   <arch>.cycles, <arch>.activity.{other,conv1,zero,nonZero,stall},
  *   <arch>.energy.{sbReads,nmReads,...}, <arch>.power.{sb,nm,...},
- *   <arch>.layer<N>.cycles, ...
+ *   <arch>.micro.{laneBusyCycles,...},
+ *   <arch>.layers.L<N>_<name>.{cycles,startCycle,activity,energy,micro}
  *
  * plus derived formulas (utilisation, zero share, joules, EDP).
+ * The layers subtree is the run's timeline: startCycle is each
+ * layer's first cycle on the serialized schedule.
  */
 std::unique_ptr<sim::StatGroup>
 buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
            const power::PowerParams &params = {});
+
+/**
+ * One experiment's complete machine-readable record: provenance,
+ * the per-layer timelines of both architectures (measured on the
+ * manifest's root seed), and the multi-image aggregate summary.
+ */
+struct RunReport
+{
+    RunManifest manifest;
+    /** Single-image (seed = manifest.seed) baseline timeline. */
+    dadiannao::NetworkResult baseline;
+    /** Single-image (seed = manifest.seed) CNV timeline. */
+    dadiannao::NetworkResult cnv;
+    /** Aggregate over manifest.images images. */
+    NetworkReport aggregate;
+};
+
+/**
+ * Evaluate `net` on both architectures and assemble a RunReport.
+ * The caller fills manifest.tool and manifest.wallSeconds (the
+ * build provenance fields are filled here via makeManifest()).
+ */
+RunReport buildRunReport(const ExperimentConfig &cfg,
+                         const nn::Network &net,
+                         const nn::PruneConfig *prune = nullptr);
+
+/**
+ * Write a report as one JSON document (schema "cnv-report-v1"):
+ *
+ *   { "schema": "cnv-report-v1",
+ *     "manifest": { ... RunManifest ... },
+ *     "architectures": { "dadiannao": <stat tree>,
+ *                        "cnv": <stat tree> },
+ *     "summary": { "images", "baselineCycles", "cnvCycles",
+ *                  "speedup" } }
+ *
+ * where each stat tree follows the sim::exportJson() layout.
+ */
+void writeReportJson(const RunReport &report, std::ostream &os);
+
+/**
+ * Write a report as CSV: `path,kind,value,description` rows —
+ * manifest fields first (kind "manifest"), then every statistic of
+ * both architecture trees, then the summary (kind "summary").
+ */
+void writeReportCsv(const RunReport &report, std::ostream &os);
 
 } // namespace cnv::driver
 

@@ -10,6 +10,29 @@ Engine::add(Clocked &component)
     components_.push_back(&component);
 }
 
+void
+Engine::clear()
+{
+    components_.clear();
+}
+
+void
+Engine::beginRegion(std::string name)
+{
+    endRegion();
+    regions_.push_back({std::move(name), now_, now_});
+    regionOpen_ = true;
+}
+
+void
+Engine::endRegion()
+{
+    if (!regionOpen_)
+        return;
+    regions_.back().end = now_;
+    regionOpen_ = false;
+}
+
 bool
 Engine::allDone() const
 {

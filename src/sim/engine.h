@@ -102,6 +102,21 @@ class Latch
     bool stagedValid_ = false;
 };
 
+/**
+ * A named measurement region on the engine's timeline: the half-open
+ * cycle interval [begin, end) during which a phase of interest (one
+ * layer, one window group, one warm-up) executed. Regions are what
+ * per-layer experiment timelines are assembled from.
+ */
+struct Region
+{
+    std::string name;
+    Cycle begin = 0;
+    Cycle end = 0;
+
+    Cycle cycles() const { return end - begin; }
+};
+
 /** Drives a set of Clocked components until all report done(). */
 class Engine
 {
@@ -110,6 +125,27 @@ class Engine
 
     /** Register a component; the engine does not take ownership. */
     void add(Clocked &component);
+
+    /**
+     * Deregister every component (the clock keeps its value). Lets
+     * a caller reuse one engine — and one continuous timeline — for
+     * phases built from different component sets.
+     */
+    void clear();
+
+    /**
+     * Open a measurement region at the current cycle, closing any
+     * still-open region first. Statistics gathered per region are
+     * typically reset here (StatGroup::resetAll) so each region
+     * reports only its own activity.
+     */
+    void beginRegion(std::string name);
+
+    /** Close the open region at the current cycle (no-op if none). */
+    void endRegion();
+
+    /** All closed regions, in begin order. */
+    const std::vector<Region> &regions() const { return regions_; }
 
     /**
      * Run until every component is done or maxCycles elapse.
@@ -132,6 +168,8 @@ class Engine
     std::string name_;
     std::vector<Clocked *> components_;
     Cycle now_ = 0;
+    std::vector<Region> regions_;
+    bool regionOpen_ = false;
 };
 
 } // namespace cnv::sim

@@ -166,6 +166,18 @@ class StatGroup
                                         const Stat &)> &fn,
                const std::string &prefix = "") const;
 
+    /** Immediate statistics of this group, in declaration order. */
+    const std::deque<std::unique_ptr<Stat>> &statChildren() const
+    {
+        return stats_;
+    }
+
+    /** Immediate nested groups, in declaration order. */
+    const std::deque<std::unique_ptr<StatGroup>> &groupChildren() const
+    {
+        return groups_;
+    }
+
   private:
     template <typename T, typename... Args>
     T &add(Args &&...args);

@@ -133,6 +133,8 @@ convBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
     const std::uint64_t windows =
         static_cast<std::uint64_t>(outShape.x) * outShape.y;
     r.energy.nmWrites += windows * ((p.filters + lanes - 1) / lanes);
+    // Lock-step broadcast keeps every lane occupied every cycle.
+    r.micro.laneBusyCycles = r.cycles * static_cast<std::uint64_t>(lanes);
     return r;
 }
 
@@ -230,8 +232,11 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
             }
 
             std::uint64_t groupCycles = 0;
-            for (int l = 0; l < lanes; ++l)
+            std::uint64_t laneSum = 0;
+            for (int l = 0; l < lanes; ++l) {
                 groupCycles = std::max(groupCycles, laneTime[l]);
+                laneSum += laneTime[l];
+            }
 
             for (int pass = 0; pass < passes; ++pass) {
                 const int fCount = std::min(
@@ -251,6 +256,12 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
                 r.energy.sbReads += nzBatch * activeUnits;
                 r.energy.multOps += nzBatch * fCount;
                 r.energy.addOps += nzBatch * fCount;
+                // Mirror the cycle-level model's per-pass lane
+                // accounting (laneTime includes empty-brick cycles).
+                r.micro.laneBusyCycles += laneSum;
+                r.micro.laneIdleCycles +=
+                    groupCycles * static_cast<std::uint64_t>(lanes) -
+                    laneSum;
             }
         }
     }
@@ -259,6 +270,11 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
         static_cast<std::uint64_t>(outShape.x) * outShape.y;
     r.energy.nmWrites += windows * ((p.filters + lanes - 1) / lanes);
     r.energy.encoderOps += windows * static_cast<std::uint64_t>(p.filters);
+    r.micro.encoderBusyCycles =
+        windows * static_cast<std::uint64_t>(p.filters);
+    r.micro.encoderBricks =
+        windows * static_cast<std::uint64_t>(
+                      (p.filters + cfg.brickSize - 1) / cfg.brickSize);
     return r;
 }
 

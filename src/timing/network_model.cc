@@ -107,6 +107,11 @@ fcCnvTiming(const dadiannao::NodeConfig &cfg, const nn::Node &node,
     r.cycles = std::max(compute, exposed);
     r.activity.other =
         r.cycles * static_cast<std::uint64_t>(cfg.nodeLanes());
+    r.micro.laneBusyCycles =
+        std::min(compute, r.cycles) * static_cast<std::uint64_t>(cfg.lanes);
+    r.micro.laneIdleCycles =
+        (r.cycles - std::min(compute, r.cycles)) *
+        static_cast<std::uint64_t>(cfg.lanes);
     r.energy.sbReads += bytes / 32; // 16-synapse (32-byte) fetches
     r.energy.multOps += static_cast<std::uint64_t>(
         static_cast<double>(node.fc.macs(node.inShape)) * nzFrac);
@@ -143,6 +148,9 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             loadStall.activity.other =
                 loadStall.cycles *
                 static_cast<std::uint64_t>(cfg.nodeLanes());
+            // Exposed load time: every lane waits on the stream.
+            loadStall.micro.laneIdleCycles =
+                loadStall.cycles * static_cast<std::uint64_t>(cfg.lanes);
             if (loadStall.cycles > 0)
                 result.layers.push_back(loadStall);
 
@@ -203,6 +211,7 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             break;
         }
     }
+    result.stampTimeline();
     return result;
 }
 

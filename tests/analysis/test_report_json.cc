@@ -1,0 +1,299 @@
+/**
+ * @file
+ * End-to-end validation of the machine-readable run report: build a
+ * small two-conv-layer network, write the JSON report, parse it back
+ * with a minimal in-test JSON parser, and check the schema the docs
+ * promise (manifest, per-layer timeline, aggregate summary).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/stats_report.h"
+#include "nn/network.h"
+
+namespace {
+
+using namespace cnv;
+
+/** Minimal JSON value for schema checks (no number/int distinction). */
+struct Json
+{
+    enum class Kind { Null, Bool, Number, String, Object, Array };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::map<std::string, Json> object;
+    std::vector<Json> array;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        auto it = object.find(key);
+        if (it == object.end()) {
+            ADD_FAILURE() << "missing key: " << key;
+            static const Json null;
+            return null;
+        }
+        return it->second;
+    }
+
+    bool has(const std::string &key) const { return object.count(key) > 0; }
+};
+
+/** Tiny recursive-descent parser for the exporter's output. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        EXPECT_EQ(pos_, s_.size()) << "trailing content after document";
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        EXPECT_LT(pos_, s_.size()) << "unexpected end of document";
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        EXPECT_EQ(peek(), c);
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\' && pos_ < s_.size()) {
+                const char esc = s_[pos_++];
+                switch (esc) {
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u':
+                    // Exporter only emits \u00xx control characters.
+                    out += static_cast<char>(
+                        std::stoi(s_.substr(pos_, 4), nullptr, 16));
+                    pos_ += 4;
+                    break;
+                  default: out += esc;
+                }
+            } else {
+                out += c;
+            }
+        }
+        EXPECT_LT(pos_, s_.size()) << "unterminated string";
+        ++pos_; // closing quote
+        return out;
+    }
+
+    Json
+    value()
+    {
+        Json v;
+        const char c = peek();
+        if (c == '{') {
+            v.kind = Json::Kind::Object;
+            ++pos_;
+            if (peek() == '}') { ++pos_; return v; }
+            while (true) {
+                const std::string key = [&] { skipWs(); return parseString(); }();
+                expect(':');
+                v.object.emplace(key, value());
+                if (peek() == ',') { ++pos_; continue; }
+                expect('}');
+                break;
+            }
+        } else if (c == '[') {
+            v.kind = Json::Kind::Array;
+            ++pos_;
+            if (peek() == ']') { ++pos_; return v; }
+            while (true) {
+                v.array.push_back(value());
+                if (peek() == ',') { ++pos_; continue; }
+                expect(']');
+                break;
+            }
+        } else if (c == '"') {
+            v.kind = Json::Kind::String;
+            v.text = parseString();
+        } else if (s_.compare(pos_, 4, "true") == 0) {
+            v.kind = Json::Kind::Bool;
+            v.boolean = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            v.kind = Json::Kind::Bool;
+            pos_ += 5;
+        } else if (s_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+        } else {
+            v.kind = Json::Kind::Number;
+            std::size_t used = 0;
+            v.number = std::stod(s_.substr(pos_), &used);
+            EXPECT_GT(used, 0u) << "bad number at offset " << pos_;
+            pos_ += used;
+        }
+        return v;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+/** A two-conv-layer network small enough for an in-test run. */
+nn::Network
+makeNetwork()
+{
+    nn::Network net("tiny2", 11);
+    int x = net.addInput({8, 8, 16});
+    nn::ConvParams c;
+    c.filters = 16;
+    c.fx = c.fy = 3;
+    c.stride = 1;
+    c.pad = 1;
+    c.inputZeroFraction = 0.5;
+    x = net.addConv("c1", x, c);
+    net.addConv("c2", x, c);
+    net.deriveOutputTargets();
+    return net;
+}
+
+driver::RunReport
+makeReport()
+{
+    driver::ExperimentConfig cfg;
+    cfg.images = 2;
+    cfg.seed = 7;
+    nn::Network net = makeNetwork();
+    driver::RunReport report = driver::buildRunReport(cfg, net);
+    report.manifest.wallSeconds = 0.25;
+    return report;
+}
+
+TEST(ReportJson, DocumentParsesWithManifestAndSummary)
+{
+    std::ostringstream os;
+    driver::writeReportJson(makeReport(), os);
+    const std::string text = os.str();
+    Json doc = Parser(text).parse();
+
+    EXPECT_EQ(doc.at("schema").text, "cnv-report-v1");
+
+    const Json &manifest = doc.at("manifest");
+    EXPECT_EQ(manifest.at("tool").text, "cnvsim");
+    EXPECT_FALSE(manifest.at("gitSha").text.empty());
+    EXPECT_FALSE(manifest.at("version").text.empty());
+    EXPECT_EQ(manifest.at("network").text, "tiny2");
+    EXPECT_FALSE(manifest.at("nodeConfig").text.empty());
+    EXPECT_EQ(manifest.at("images").number, 2.0);
+    EXPECT_EQ(manifest.at("seed").number, 7.0);
+    EXPECT_EQ(manifest.at("wallSeconds").number, 0.25);
+
+    const Json &summary = doc.at("summary");
+    EXPECT_GT(summary.at("baselineCycles").number, 0.0);
+    EXPECT_GT(summary.at("cnvCycles").number, 0.0);
+    EXPECT_GT(summary.at("speedup").number, 0.0);
+}
+
+TEST(ReportJson, BothArchitecturesCarryPerLayerTimelines)
+{
+    std::ostringstream os;
+    driver::writeReportJson(makeReport(), os);
+    Json doc = Parser(os.str()).parse();
+
+    const Json &archs = doc.at("architectures");
+    ASSERT_TRUE(archs.has("dadiannao"));
+    ASSERT_TRUE(archs.has("cnv"));
+
+    for (const char *arch : {"dadiannao", "cnv"}) {
+        const Json &tree = archs.at(arch);
+        const double totalCycles =
+            tree.at("stats").at("cycles").at("value").number;
+        EXPECT_GT(totalCycles, 0.0) << arch;
+
+        const Json &layers = tree.at("groups").at("layers").at("groups");
+        // Two conv layers plus any synapse-load stall layers.
+        EXPECT_GE(layers.object.size(), 2u) << arch;
+
+        // Layers appear in timeline order (startCycle cumulative over
+        // the preceding layers' cycles) and cover the total exactly.
+        double expectStart = 0.0, covered = 0.0;
+        for (const auto &[name, layer] : layers.object) {
+            const Json &stats = layer.at("stats");
+            EXPECT_EQ(stats.at("startCycle").at("value").number,
+                      expectStart)
+                << arch << "." << name;
+            expectStart += stats.at("cycles").at("value").number;
+            covered += stats.at("cycles").at("value").number;
+            ASSERT_TRUE(layer.at("groups").has("micro"))
+                << arch << "." << name;
+            ASSERT_TRUE(layer.at("groups").has("energy"))
+                << arch << "." << name;
+        }
+        EXPECT_EQ(covered, totalCycles) << arch;
+    }
+
+    // The encoded CNV conv layers report encoder throughput.
+    const Json &cnvLayers =
+        archs.at("cnv").at("groups").at("layers").at("groups");
+    double encoderBricks = 0.0;
+    for (const auto &[name, layer] : cnvLayers.object)
+        encoderBricks += layer.at("groups").at("micro").at("stats")
+                             .at("encoderBricks").at("value").number;
+    EXPECT_GT(encoderBricks, 0.0);
+}
+
+TEST(ReportCsv, RowsCoverManifestStatsAndSummary)
+{
+    std::ostringstream os;
+    driver::writeReportCsv(makeReport(), os);
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "path,kind,value,description");
+
+    bool sawManifest = false, sawBaseline = false, sawCnv = false,
+         sawSummary = false;
+    while (std::getline(is, line)) {
+        sawManifest |= line.rfind("manifest.network,manifest,tiny2", 0) == 0;
+        sawBaseline |= line.rfind("dadiannao.cycles,counter,", 0) == 0;
+        sawCnv |= line.rfind("cnv.cycles,counter,", 0) == 0;
+        sawSummary |= line.rfind("summary.speedup,summary,", 0) == 0;
+    }
+    EXPECT_TRUE(sawManifest);
+    EXPECT_TRUE(sawBaseline);
+    EXPECT_TRUE(sawCnv);
+    EXPECT_TRUE(sawSummary);
+}
+
+} // namespace

@@ -78,6 +78,69 @@ TEST(EngineOrdering, SequentialRunsAccumulateTime)
     EXPECT_EQ(engine.now(), 5u);
 }
 
+TEST(EngineRegions, RegionsCoverConsecutiveRuns)
+{
+    std::vector<int> evals, commits;
+    Engine engine("t");
+
+    Recorder a(1, evals, commits, 3);
+    engine.add(a);
+    engine.beginRegion("phase-a");
+    engine.run(100);
+    engine.endRegion();
+
+    Recorder b(2, evals, commits, 2);
+    engine.clear();
+    engine.add(b);
+    engine.beginRegion("phase-b");
+    engine.run(100);
+    engine.endRegion();
+
+    ASSERT_EQ(engine.regions().size(), 2u);
+    const Region &ra = engine.regions()[0];
+    const Region &rb = engine.regions()[1];
+    EXPECT_EQ(ra.name, "phase-a");
+    EXPECT_EQ(ra.begin, 0u);
+    EXPECT_EQ(ra.end, 3u);
+    EXPECT_EQ(ra.cycles(), 3u);
+    EXPECT_EQ(rb.name, "phase-b");
+    EXPECT_EQ(rb.begin, 3u);
+    EXPECT_EQ(rb.end, 5u);
+}
+
+TEST(EngineRegions, BeginClosesOpenRegion)
+{
+    std::vector<int> evals, commits;
+    Recorder a(1, evals, commits, 2);
+    Engine engine("t");
+    engine.add(a);
+    engine.beginRegion("first");
+    engine.run(100);
+    engine.beginRegion("second"); // implicitly ends "first" at cycle 2
+    ASSERT_EQ(engine.regions().size(), 2u);
+    EXPECT_EQ(engine.regions()[0].end, 2u);
+    EXPECT_EQ(engine.regions()[1].begin, 2u);
+}
+
+TEST(EngineRegions, EndWithoutOpenRegionIsANoop)
+{
+    Engine engine("t");
+    engine.endRegion();
+    EXPECT_TRUE(engine.regions().empty());
+}
+
+TEST(EngineRegions, ClearKeepsClockRunning)
+{
+    std::vector<int> evals, commits;
+    Recorder a(1, evals, commits, 4);
+    Engine engine("t");
+    engine.add(a);
+    engine.run(100);
+    engine.clear();
+    EXPECT_TRUE(engine.allDone());
+    EXPECT_EQ(engine.now(), 4u);
+}
+
 TEST(LatchExtra, PushWithoutTickStaysInvisible)
 {
     Latch<int> l;

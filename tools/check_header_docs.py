@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fail when a public header lacks API documentation.
+
+Run as a CTest check (see tests/CMakeLists.txt) over the stable public
+surface (src/sim by default).  Two rules, deliberately simple enough
+to stay green without a Doxygen install:
+
+  1. every header starts with a ``/** @file`` comment block, and
+  2. every namespace-scope class/struct/enum definition is directly
+     preceded by a Doxygen comment (``/** ... */`` or ``///``).
+
+Usage: check_header_docs.py [DIR ...]   (default: src/sim)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# A type definition at namespace scope (indent 0), not a forward
+# declaration ("class X;") and not a macro'd or template-parameter use.
+TYPE_DEF = re.compile(
+    r"^(?:template\s*<[^;{]*>\s*)?(?:class|struct|enum(?:\s+class)?)\s+"
+    r"(\w+)[^;]*$"
+)
+
+
+def check_header(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text()
+    lines = text.splitlines()
+
+    if not re.match(r"\s*/\*\*\s*\n\s*\*?\s*@file", text) and not text.startswith(
+        "/** @file"
+    ):
+        problems.append(f"{path}:1: missing /** @file header comment")
+
+    depth = 0  # brace nesting, so members are skipped
+    prev_doc = False
+    pending_template = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if depth == 0 and not line.startswith(("/", "*", "#")):
+            m = TYPE_DEF.match(line)
+            if m and not (prev_doc or pending_template):
+                problems.append(
+                    f"{path}:{lineno}: undocumented type '{m.group(1)}'"
+                )
+            # A bare "template <...>" line carries its doc comment
+            # forward to the definition on the next line.
+            pending_template = line.startswith("template") and m is None
+            if m:
+                pending_template = False
+        else:
+            pending_template = False
+        prev_doc = line.endswith("*/") or line.startswith("///")
+        depth += raw.count("{") - raw.count("}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv[1:]] or [Path("src/sim")]
+    headers = sorted(h for root in roots for h in root.rglob("*.h"))
+    if not headers:
+        print(f"check_header_docs: no headers under {roots}", file=sys.stderr)
+        return 2
+    problems = [p for h in headers for p in check_header(h)]
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(
+        f"check_header_docs: {len(headers)} headers, "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
