@@ -5,8 +5,12 @@
  * pruning thresholds of Table II also applied (CNV + Pruning).
  */
 
+#include <fstream>
+
 #include "common.h"
+#include "driver/trace_pipeline.h"
 #include "pruning/explore.h"
+#include "timing/network_model.h"
 
 using namespace cnv;
 
@@ -66,10 +70,29 @@ main(int argc, char **argv)
     sim::Table t({"network", "CNV", "paper CNV (approx)", "CNV+Pruning",
                   "paper CNV+Pruning"});
     sim::StatGroup fig("fig09");
+    sim::TraceSink trace;
+    std::uint32_t tracePid = 1;
     double sumPlain = 0.0, sumPruned = 0.0;
     for (auto id : nn::zoo::allNetworks()) {
         const auto net = nn::zoo::build(id, cfg.seed);
         const auto plain = driver::evaluateNetwork(cfg, *net);
+
+        if (!opts.traceOut.empty()) {
+            // One timeline per (network, architecture) pair, on the
+            // manifest's root seed like the driver reports.
+            timing::RunOptions ropts;
+            ropts.imageSeed = cfg.seed;
+            const auto cnvRun = timing::simulateNetwork(
+                cfg.node, *net, timing::Arch::Cnv, ropts);
+            const auto baseRun = timing::simulateNetwork(
+                cfg.node, *net, timing::Arch::Baseline, ropts);
+            driver::appendNetworkTrace(
+                trace, cnvRun, tracePid++,
+                sim::strfmt("cnv ({})", net->name()));
+            driver::appendNetworkTrace(
+                trace, baseRun, tracePid++,
+                sim::strfmt("dadiannao ({})", net->name()));
+        }
 
         double pruned = plain.speedup();
         if (!opts.quick) {
@@ -115,5 +138,17 @@ main(int argc, char **argv)
             sumPruned / 6;
     bench::emit(opts, "Figure 9: speedup of CNV over the baseline", t);
     bench::writeFigureArtifact(opts, "fig09_speedup", cfg.node, fig);
+    if (!opts.traceOut.empty()) {
+        std::ofstream os(opts.traceOut);
+        if (!os) {
+            std::cerr << "cannot open trace file " << opts.traceOut
+                      << '\n';
+            return 1;
+        }
+        trace.writeJson(os, {sim::TraceArg("tool", "bench_fig09_speedup"),
+                             sim::TraceArg("seed", opts.seed)});
+        std::cout << "wrote " << trace.events().size()
+                  << " trace events to " << opts.traceOut << '\n';
+    }
     return 0;
 }

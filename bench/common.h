@@ -12,6 +12,8 @@
  *   --quick      minimal work (used for smoke runs)
  *   --json PATH  also write the figure's data as a JSON artifact
  *                (schema "cnv-figure-v1", see docs/observability.md)
+ *   --trace-out PATH  write a Chrome trace-event JSON of the runs
+ *                (honoured by benches that advertise it in --help)
  */
 
 #ifndef CNV_BENCH_COMMON_H
@@ -40,6 +42,8 @@ struct Options
     bool quick = false;
     /** When non-empty, figure data is also written here as JSON. */
     std::string json;
+    /** When non-empty, a trace-event JSON is also written here. */
+    std::string traceOut;
 };
 
 inline Options
@@ -75,13 +79,15 @@ parseArgs(int argc, char **argv, int defaultImages = 2)
             opts.seed = std::stoull(next());
         } else if (arg == "--json") {
             opts.json = next();
+        } else if (arg == "--trace-out") {
+            opts.traceOut = next();
         } else if (arg == "--csv") {
             opts.csv = true;
         } else if (arg == "--quick") {
             opts.quick = true;
         } else if (arg == "--help") {
             std::cout << "options: --images N --seed S --csv --quick "
-                         "--json PATH\n";
+                         "--json PATH --trace-out PATH\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option " << arg << '\n';

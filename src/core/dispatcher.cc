@@ -1,6 +1,9 @@
 #include "core/dispatcher.h"
 
+#include <algorithm>
+
 #include "sim/logging.h"
+#include "sim/stall_profile.h"
 
 namespace cnv::core {
 
@@ -19,7 +22,64 @@ Dispatcher::Dispatcher(const DispatcherConfig &cfg,
     inflight_.resize(cfg_.lanes);
     out_.resize(cfg_.lanes);
     stalls_.assign(cfg_.lanes, 0);
+    drained_.assign(cfg_.lanes, 0);
+    busy_.assign(cfg_.lanes, 0);
     brickSeq_.assign(cfg_.lanes, 0);
+    runState_.assign(cfg_.lanes, LaneState::None);
+    runStart_.assign(cfg_.lanes, 0);
+}
+
+void
+Dispatcher::setTrace(sim::TraceSink *sink, std::uint32_t pid,
+                     std::uint32_t laneTidBase, std::string layerLabel)
+{
+    trace_ = sink;
+    tracePid_ = pid;
+    traceTidBase_ = laneTidBase;
+    traceLayer_ = std::move(layerLabel);
+}
+
+void
+Dispatcher::traceLane(int lane, LaneState state, sim::Cycle cycle)
+{
+    if (!trace_ || state == runState_[lane])
+        return;
+    const LaneState prev = runState_[lane];
+    if (prev != LaneState::None && cycle > runStart_[lane]) {
+        const std::uint32_t tid =
+            traceTidBase_ + static_cast<std::uint32_t>(lane);
+        const sim::Cycle dur = cycle - runStart_[lane];
+        if (prev == LaneState::Busy) {
+            trace_->complete(tracePid_, tid, "busy", "lane",
+                             runStart_[lane], dur);
+        } else {
+            const char *reason = prev == LaneState::BbEmpty
+                ? sim::stallReasonName(sim::StallReason::BrickBufferEmpty)
+                : sim::stallReasonName(sim::StallReason::SliceDrained);
+            std::vector<sim::TraceArg> args;
+            if (!traceLayer_.empty())
+                args.emplace_back("layer", traceLayer_);
+            trace_->complete(tracePid_, tid, reason, "stall",
+                             runStart_[lane], dur, std::move(args));
+        }
+    }
+    runState_[lane] = state;
+    runStart_[lane] = cycle;
+}
+
+void
+Dispatcher::flushTrace(sim::Cycle end)
+{
+    // Close on the counters' boundary: the engine's final cycle is
+    // not sampled (done() already holds), so spans must not cover it
+    // either, or folding them would overshoot the idle counters.
+    const sim::Cycle close = std::min(end, lastSampled_ + 1);
+    for (int lane = 0; lane < cfg_.lanes; ++lane)
+        traceLane(lane, LaneState::None, close);
+    if (trace_ && lastOccupancy_ > 0) {
+        trace_->counter(tracePid_, 0, "bbOccupancy", close, 0.0);
+        lastOccupancy_ = 0;
+    }
 }
 
 const std::vector<DispatchedNeuron> &
@@ -31,6 +91,7 @@ Dispatcher::broadcasts(int lane) const
 void
 Dispatcher::evaluate(sim::Cycle cycle)
 {
+    std::vector<LaneState> state(cfg_.lanes, LaneState::Drained);
     for (int lane = 0; lane < cfg_.lanes; ++lane) {
         // 1. Deliver fetches that completed by now (banks are
         //    sub-banked/pipelined: one new brick per cycle each).
@@ -74,8 +135,10 @@ Dispatcher::evaluate(sim::Cycle cycle)
         const bool laneHasWork = !bb_[lane].empty() ||
                                  !inflight_[lane].empty() ||
                                  !pendingBricks_[lane].empty();
-        if (!didWork && laneHasWork)
-            ++stalls_[lane];
+        if (didWork)
+            state[lane] = LaneState::Busy;
+        else if (laneHasWork)
+            state[lane] = LaneState::BbEmpty;
 
         // 3. Prefetch as early as the BB allows: the fetch pointer
         //    per bank runs ahead of the drain (at most one new
@@ -90,12 +153,56 @@ Dispatcher::evaluate(sim::Cycle cycle)
     }
 
     // Observability: sample BB occupancy once per active cycle
-    // (post-broadcast, so a drained-and-refilled entry counts once).
+    // (post-broadcast, so a drained-and-refilled entry counts once)
+    // and attribute every lane's cycle to exactly one state, so
+    // busy + bbEmpty + drained == bbSampleCycles x lanes.
     if (!done()) {
-        for (int lane = 0; lane < cfg_.lanes; ++lane)
-            bbOccupancySum_ += bb_[lane].size();
+        std::uint64_t occupancy = 0;
+        for (int lane = 0; lane < cfg_.lanes; ++lane) {
+            occupancy += bb_[lane].size();
+            switch (state[lane]) {
+              case LaneState::Busy:
+                ++busy_[lane];
+                break;
+              case LaneState::BbEmpty:
+                ++stalls_[lane];
+                break;
+              case LaneState::Drained:
+                ++drained_[lane];
+                break;
+              case LaneState::None:
+                break;
+            }
+            traceLane(lane, state[lane], cycle);
+        }
+        bbOccupancySum_ += occupancy;
         ++bbSampleCycles_;
+        lastSampled_ = cycle;
+        if (trace_ &&
+            static_cast<std::int64_t>(occupancy) != lastOccupancy_) {
+            trace_->counter(tracePid_, 0, "bbOccupancy", cycle,
+                            static_cast<double>(occupancy));
+            lastOccupancy_ = static_cast<std::int64_t>(occupancy);
+        }
     }
+}
+
+std::uint64_t
+Dispatcher::idleBrickBufferEmpty() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t s : stalls_)
+        total += s;
+    return total;
+}
+
+std::uint64_t
+Dispatcher::idleSliceDrained() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t d : drained_)
+        total += d;
+    return total;
 }
 
 double
@@ -117,10 +224,12 @@ Dispatcher::attachStats(sim::StatGroup &parent) const
                  [this] { return meanBbOccupancy(); });
     g.addFormula("stallCycles", "lane-cycles idle while work remained",
                  [this] {
-                     std::uint64_t total = 0;
-                     for (std::uint64_t s : stalls_)
-                         total += s;
-                     return static_cast<double>(total);
+                     return static_cast<double>(idleBrickBufferEmpty());
+                 });
+    g.addFormula("drainedCycles",
+                 "lane-cycles idle after the lane's slice ran dry",
+                 [this] {
+                     return static_cast<double>(idleSliceDrained());
                  });
 }
 

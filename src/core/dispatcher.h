@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "sim/engine.h"
 #include "sim/stats.h"
+#include "sim/trace_event.h"
 #include "zfnaf/format.h"
 
 namespace cnv::core {
@@ -75,8 +77,20 @@ class Dispatcher : public sim::Clocked
     /** Everything broadcast to a lane, in order. */
     const std::vector<DispatchedNeuron> &broadcasts(int lane) const;
 
-    /** Cycles lane i spent idle while other lanes were busy. */
+    /** Cycles lane i spent waiting on an NM fetch with bricks left. */
     std::uint64_t stallCycles(int lane) const { return stalls_[lane]; }
+
+    /** Cycles lane i sat drained while other lanes still worked. */
+    std::uint64_t drainedCycles(int lane) const { return drained_[lane]; }
+
+    /** Cycles lane i broadcast a pair (or consumed an empty brick). */
+    std::uint64_t busyCycles(int lane) const { return busy_[lane]; }
+
+    /** stallCycles summed over lanes (StallReason::BrickBufferEmpty). */
+    std::uint64_t idleBrickBufferEmpty() const;
+
+    /** drainedCycles summed over lanes (StallReason::SliceDrained). */
+    std::uint64_t idleSliceDrained() const;
 
     /** 16-neuron-wide NM reads issued (one per brick fetch). */
     std::uint64_t nmReads() const { return nmReads_; }
@@ -98,7 +112,27 @@ class Dispatcher : public sim::Clocked
      */
     void attachStats(sim::StatGroup &parent) const;
 
+    /**
+     * Stream this dispatcher's activity into @p sink: one trace
+     * thread per lane (tid = @p laneTidBase + lane) carrying
+     * coalesced busy spans (cat "lane") and idle spans (cat "stall",
+     * named after their sim::StallReason, tagged with @p layerLabel),
+     * plus a "bbOccupancy" counter on (pid, tid 0) emitted whenever
+     * the total resident-brick count changes. Call before running;
+     * call flushTrace() once the engine stops to close open spans.
+     */
+    void setTrace(sim::TraceSink *sink, std::uint32_t pid,
+                  std::uint32_t laneTidBase, std::string layerLabel);
+
+    /** Close open spans and finish the occupancy ramp at @p end. */
+    void flushTrace(sim::Cycle end);
+
   private:
+    /** What a lane did during one active cycle. */
+    enum class LaneState { None, Busy, BbEmpty, Drained };
+
+    void traceLane(int lane, LaneState state, sim::Cycle cycle);
+
     DispatcherConfig cfg_;
     /** Per-bank bricks not yet delivered, in processing order. */
     std::vector<std::deque<BrickData>> pendingBricks_;
@@ -110,10 +144,25 @@ class Dispatcher : public sim::Clocked
     std::vector<std::deque<sim::Cycle>> inflight_;
     std::vector<std::vector<DispatchedNeuron>> out_;
     std::vector<std::uint64_t> stalls_;
+    std::vector<std::uint64_t> drained_;
+    std::vector<std::uint64_t> busy_;
     std::vector<std::uint32_t> brickSeq_;
     std::uint64_t nmReads_ = 0;
     std::uint64_t bbOccupancySum_ = 0;
     std::uint64_t bbSampleCycles_ = 0;
+
+    sim::TraceSink *trace_ = nullptr;
+    std::uint32_t tracePid_ = 0;
+    std::uint32_t traceTidBase_ = 0;
+    std::string traceLayer_;
+    /** Per-lane open-run state and its first cycle. */
+    std::vector<LaneState> runState_;
+    std::vector<sim::Cycle> runStart_;
+    /** Last bbOccupancy counter value emitted (-1 = none yet). */
+    std::int64_t lastOccupancy_ = -1;
+    /** Most recent sampled (active) cycle, so trace spans close on
+     *  the same boundary the busy/stall/drained counters stop at. */
+    sim::Cycle lastSampled_ = 0;
 };
 
 } // namespace cnv::core

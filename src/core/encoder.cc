@@ -29,10 +29,23 @@ EncoderUnit::offer(std::span<const tensor::Fixed16> group)
 }
 
 void
-EncoderUnit::evaluate(sim::Cycle)
+EncoderUnit::setTrace(sim::TraceSink *sink, std::uint32_t pid,
+                      std::uint32_t tid)
+{
+    trace_ = sink;
+    tracePid_ = pid;
+    traceTid_ = tid;
+}
+
+void
+EncoderUnit::evaluate(sim::Cycle cycle)
 {
     if (!busy())
         return;
+    if (!inGroup_) {
+        inGroup_ = true;
+        groupStart_ = cycle;
+    }
     ++busyCycles_;
     // One neuron per cycle: examine, bump the offset counter, and
     // keep only non-zero values.
@@ -43,9 +56,17 @@ EncoderUnit::evaluate(sim::Cycle)
 }
 
 void
-EncoderUnit::commit(sim::Cycle)
+EncoderUnit::commit(sim::Cycle cycle)
 {
     if (cursor_ == fill_ && fill_ > 0) {
+        if (trace_ && inGroup_) {
+            trace_->complete(
+                tracePid_, traceTid_, "encode", "encoder", groupStart_,
+                cycle + 1 - groupStart_,
+                {sim::TraceArg("nonZero",
+                               static_cast<std::uint64_t>(ob_.size()))});
+        }
+        inGroup_ = false;
         // OB now holds the brick in ZFNAf; ship it to NM.
         done_.push_back(ob_);
         ob_.clear();

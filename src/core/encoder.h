@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/trace_event.h"
 #include "tensor/fixed16.h"
 #include "zfnaf/format.h"
 
@@ -52,6 +53,15 @@ class EncoderUnit : public sim::Clocked
     /** Cycles spent actively encoding. */
     std::uint64_t busyCycles() const { return busyCycles_; }
 
+    /**
+     * Stream per-brick activity into @p sink: one "encode" span
+     * (cat "encoder") on (pid, tid) per converted group, spanning
+     * its first examine cycle to its commit, with the produced
+     * non-zero count as an "nonZero" argument.
+     */
+    void setTrace(sim::TraceSink *sink, std::uint32_t pid,
+                  std::uint32_t tid);
+
     void evaluate(sim::Cycle cycle) override;
     void commit(sim::Cycle cycle) override;
     bool done() const override { return !busy(); }
@@ -64,6 +74,12 @@ class EncoderUnit : public sim::Clocked
     int cursor_ = 0;  ///< offset counter / IB read position
     std::uint64_t busyCycles_ = 0;
     std::vector<std::vector<zfnaf::EncodedNeuron>> done_;
+
+    sim::TraceSink *trace_ = nullptr;
+    std::uint32_t tracePid_ = 0;
+    std::uint32_t traceTid_ = 0;
+    sim::Cycle groupStart_ = 0;
+    bool inGroup_ = false;
 };
 
 } // namespace cnv::core

@@ -66,6 +66,8 @@ CnvNodeModel::run(const nn::Network &net, const NeuronTensor &input,
                                        cfg_.nodeLanes());
             loadStall.micro.laneIdleCycles =
                 loadStall.cycles * static_cast<std::uint64_t>(cfg_.lanes);
+            loadStall.micro.stalls.synapseWait =
+                loadStall.micro.laneIdleCycles;
             if (loadStall.cycles > 0)
                 result.timing.layers.push_back(loadStall);
 

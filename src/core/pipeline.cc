@@ -88,7 +88,8 @@ PipelineResult
 runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
                 const nn::ConvParams &p, const zfnaf::EncodedArray &in,
                 const FilterBank &weights,
-                const std::vector<Fixed16> &bias)
+                const std::vector<Fixed16> &bias, sim::TraceSink *trace,
+                std::uint32_t tracePid)
 {
     CNV_ASSERT(p.groups == 1, "pipeline models single-group layers");
     CNV_ASSERT(p.filters <= cfg.parallelFilters(),
@@ -106,7 +107,26 @@ runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
     PipelineResult result;
     result.output = NeuronTensor(outShape);
 
+    // Trace track layout under tracePid: tid 0 carries window-group
+    // spans (and the bbOccupancy counter), tids 1..lanes the lanes,
+    // tid lanes+1 the encoder (which drains on its own clock).
+    const std::uint32_t laneTidBase = 1;
+    const std::uint32_t encoderTid =
+        laneTidBase + static_cast<std::uint32_t>(lanes);
+    if (trace) {
+        trace->setProcessName(tracePid, "cnv unit (structural)");
+        trace->setThreadName(tracePid, 0, "window-groups");
+        for (int lane = 0; lane < lanes; ++lane) {
+            trace->setThreadName(
+                tracePid, laneTidBase + static_cast<std::uint32_t>(lane),
+                sim::strfmt("lane{}", lane));
+        }
+        trace->setThreadName(tracePid, encoderTid, "encoder (own clock)");
+    }
+
     EncoderUnit encoder(cfg.brickSize);
+    if (trace)
+        encoder.setTrace(trace, tracePid, encoderTid);
     // One engine per concern, reused across window groups so the
     // compute timeline is continuous and each group becomes a
     // measurement region on it. The encoder drains on its own clock
@@ -163,6 +183,8 @@ runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
         dcfg.lanes = lanes;
         dcfg.emptyBrickCostsCycle = cfg.emptyBrickCostsCycle;
         Dispatcher dispatcher(dcfg, std::move(laneBricks));
+        if (trace)
+            dispatcher.setTrace(trace, tracePid, laneTidBase, "");
         BackEnd backend(dispatcher, lanes, laneDescs, p, weights,
                         cfg.brickSize, acc);
 
@@ -170,11 +192,26 @@ runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
         engine.add(dispatcher);
         engine.add(backend);
         engine.beginRegion(sim::strfmt("window-group@{}", w0));
+        const sim::Cycle groupBegin = engine.now();
         result.cycles += engine.run();
         engine.endRegion();
+        dispatcher.flushTrace(engine.now());
+        if (trace && engine.now() > groupBegin) {
+            trace->complete(tracePid, 0,
+                            sim::strfmt("window-group@{}", w0), "pipeline",
+                            groupBegin, engine.now() - groupBegin);
+        }
         result.nmReads += dispatcher.nmReads();
         result.bbOccupancySum += dispatcher.bbOccupancySum();
         result.bbSampleCycles += dispatcher.bbSampleCycles();
+        for (int lane = 0; lane < lanes; ++lane) {
+            result.micro.laneBusyCycles += dispatcher.busyCycles(lane);
+            result.micro.laneIdleCycles += dispatcher.stallCycles(lane) +
+                                           dispatcher.drainedCycles(lane);
+        }
+        result.micro.stalls.brickBufferEmpty +=
+            dispatcher.idleBrickBufferEmpty();
+        result.micro.stalls.sliceDrained += dispatcher.idleSliceDrained();
 
         // Drain NBout through the encoder, 16 output neurons at a
         // time (serial, overlapped with the next group in hardware).
@@ -204,6 +241,10 @@ runConvPipeline(const NodeConfig &cfg, const DispatcherConfig &dispatchCfg,
 
     result.encoderBricks = encoder.bricks().size();
     result.regions = engine.regions();
+    result.micro.encoderBusyCycles = result.encoderBusyCycles;
+    result.micro.encoderBricks = result.encoderBricks;
+    result.micro.bbOccupancySum = result.bbOccupancySum;
+    result.micro.bbSampleCycles = result.bbSampleCycles;
     return result;
 }
 

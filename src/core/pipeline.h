@@ -32,6 +32,7 @@
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
 #include "nn/layer.h"
+#include "sim/trace_event.h"
 #include "tensor/neuron_tensor.h"
 #include "zfnaf/format.h"
 
@@ -57,6 +58,14 @@ struct PipelineResult
      * continuous timeline ([begin, end) cycle intervals, in order).
      */
     std::vector<sim::Region> regions;
+    /**
+     * Lane occupancy with reason-attributed idle cycles, measured
+     * over the dispatcher's sampled (active) cycles:
+     * laneBusyCycles + laneIdleCycles == bbSampleCycles x lanes and
+     * micro.stalls.total() == micro.laneIdleCycles (BrickBufferEmpty
+     * for NM-fetch waits, SliceDrained for lanes that ran dry).
+     */
+    dadiannao::MicroTrace micro;
 
     /** Mean bricks resident in the BB while the dispatcher ran. */
     double
@@ -75,13 +84,22 @@ struct PipelineResult
  *        empty-brick policy are honoured; groups and multi-pass
  *        layers are rejected).
  * @param dispatchCfg Dispatcher/NM parameters (latency, BB depth).
+ * @param trace Optional event sink. When set, the run streams
+ *        Chrome trace events under process @p tracePid: window-group
+ *        spans on tid 0, per-lane busy/stall spans on tids
+ *        1..lanes, encoder "encode" spans on tid lanes+1 (the
+ *        encoder drains on its own overlapped clock — see
+ *        docs/observability.md), and a "bbOccupancy" counter.
+ * @param tracePid Trace process id to emit under (tids as above).
  */
 PipelineResult runConvPipeline(const dadiannao::NodeConfig &cfg,
                                const DispatcherConfig &dispatchCfg,
                                const nn::ConvParams &p,
                                const zfnaf::EncodedArray &in,
                                const tensor::FilterBank &weights,
-                               const std::vector<tensor::Fixed16> &bias);
+                               const std::vector<tensor::Fixed16> &bias,
+                               sim::TraceSink *trace = nullptr,
+                               std::uint32_t tracePid = 1);
 
 } // namespace cnv::core
 

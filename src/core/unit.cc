@@ -174,9 +174,11 @@ simulateConvCnv(const NodeConfig &cfg, const nn::ConvParams &p,
                                  static_cast<std::uint64_t>(cfg.units);
                 }
                 result.timing.micro.laneBusyCycles += laneSum;
-                result.timing.micro.laneIdleCycles +=
+                const std::uint64_t barrier =
                     groupCycles * static_cast<std::uint64_t>(lanes) -
                     laneSum;
+                result.timing.micro.laneIdleCycles += barrier;
+                result.timing.micro.stalls.windowBarrier += barrier;
             }
         }
 

@@ -5,6 +5,7 @@
 
 #include "sim/engine.h"
 #include "sim/logging.h"
+#include "sim/stall_profile.h"
 
 namespace cnv::dadiannao {
 
@@ -39,10 +40,15 @@ class FetchUnit : public sim::Clocked
     }
 
     void
-    evaluate(sim::Cycle) override
+    evaluate(sim::Cycle cycle) override
     {
         if (schedule_.empty() || out_.stalled())
             return;
+        if (!streaming_) {
+            streaming_ = true;
+            streamStart_ = cycle;
+        }
+        streamEnd_ = cycle + 1;
         out_.push(std::move(schedule_.front()));
         schedule_.pop_front();
         ++nmReads_;
@@ -53,10 +59,24 @@ class FetchUnit : public sim::Clocked
 
     std::uint64_t nmReads() const { return nmReads_; }
 
+    /** Emit the coalesced NM-streaming span into @p sink. */
+    void
+    flushTrace(sim::TraceSink *sink, std::uint32_t pid,
+               std::uint32_t tid) const
+    {
+        if (sink && streaming_) {
+            sink->complete(pid, tid, "stream", "unit", streamStart_,
+                           streamEnd_ - streamStart_);
+        }
+    }
+
   private:
     std::deque<FetchBlock> schedule_;
     sim::Latch<FetchBlock> &out_;
     std::uint64_t nmReads_ = 0;
+    bool streaming_ = false;
+    sim::Cycle streamStart_ = 0;
+    sim::Cycle streamEnd_ = 0;
 };
 
 /** The lock-step unit array: 256 multipliers + 16 adder trees. */
@@ -65,20 +85,49 @@ class UnitArray : public sim::Clocked
   public:
     UnitArray(sim::Latch<FetchBlock> &in, const nn::ConvParams &p,
               const FilterBank &weights,
-              std::vector<std::vector<Accum>> &acc)
+              std::vector<std::vector<Accum>> &acc, int lanes)
         : sim::Clocked("units"),
           in_(in),
           params_(p),
           weights_(weights),
-          acc_(acc)
+          acc_(acc),
+          lanes_(lanes)
     {
     }
 
+    /** Cycles the array consumed a fetch block (all lanes advance). */
+    std::uint64_t busyCycles() const { return busyCycles_; }
+
+    /** Cycles the array waited on the NBin stage (pipeline fill). */
+    std::uint64_t idleCycles() const { return idleCycles_; }
+
     void
-    evaluate(sim::Cycle) override
+    setTrace(sim::TraceSink *sink, std::uint32_t pid, std::uint32_t tid)
     {
-        if (!in_.valid())
+        trace_ = sink;
+        tracePid_ = pid;
+        traceTid_ = tid;
+    }
+
+    /** Close the open busy/stall span at @p end. */
+    void
+    flushTrace(sim::Cycle end)
+    {
+        traceState(false, end, /*flush=*/true);
+    }
+
+    void
+    evaluate(sim::Cycle cycle) override
+    {
+        if (finished_)
             return;
+        if (!in_.valid()) {
+            ++idleCycles_;
+            traceState(false, cycle, false);
+            return;
+        }
+        ++busyCycles_;
+        traceState(true, cycle, false);
         const FetchBlock block = in_.pop();
         for (int lane = 0; lane < block.valid; ++lane) {
             const Fixed16 n = block.neurons[lane];
@@ -97,11 +146,50 @@ class UnitArray : public sim::Clocked
     bool done() const override { return finished_; }
 
   private:
+    /** Coalesce same-state cycles into one span; emit on changes. */
+    void
+    traceState(bool busy, sim::Cycle cycle, bool flush)
+    {
+        if (!trace_)
+            return;
+        if (!flush && open_ && busy == openBusy_)
+            return;
+        if (open_ && cycle > openStart_) {
+            const sim::Cycle dur = cycle - openStart_;
+            if (openBusy_) {
+                trace_->complete(tracePid_, traceTid_, "busy", "unit",
+                                 openStart_, dur);
+            } else {
+                trace_->complete(
+                    tracePid_, traceTid_,
+                    sim::stallReasonName(
+                        sim::StallReason::BrickBufferEmpty),
+                    "stall", openStart_, dur,
+                    {sim::TraceArg(
+                        "laneCycles",
+                        dur * static_cast<std::uint64_t>(lanes_))});
+            }
+        }
+        open_ = !flush;
+        openBusy_ = busy;
+        openStart_ = cycle;
+    }
+
     sim::Latch<FetchBlock> &in_;
     const nn::ConvParams &params_;
     const FilterBank &weights_;
     std::vector<std::vector<Accum>> &acc_;
+    int lanes_;
     bool finished_ = false;
+    std::uint64_t busyCycles_ = 0;
+    std::uint64_t idleCycles_ = 0;
+
+    sim::TraceSink *trace_ = nullptr;
+    std::uint32_t tracePid_ = 0;
+    std::uint32_t traceTid_ = 0;
+    bool open_ = false;
+    bool openBusy_ = false;
+    sim::Cycle openStart_ = 0;
 };
 
 } // namespace
@@ -109,7 +197,8 @@ class UnitArray : public sim::Clocked
 BaselinePipelineResult
 runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
                         const NeuronTensor &in, const FilterBank &weights,
-                        const std::vector<Fixed16> &bias)
+                        const std::vector<Fixed16> &bias,
+                        sim::TraceSink *trace, std::uint32_t tracePid)
 {
     CNV_ASSERT(p.groups == 1, "pipeline models single-group layers");
     CNV_ASSERT(p.filters <= cfg.parallelFilters(),
@@ -165,7 +254,13 @@ runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
 
     sim::Latch<FetchBlock> nbin;
     FetchUnit fetch(std::move(schedule), nbin);
-    UnitArray units(nbin, p, weights, acc);
+    UnitArray units(nbin, p, weights, acc, lanes);
+    if (trace) {
+        trace->setProcessName(tracePid, "dadiannao node (structural)");
+        trace->setThreadName(tracePid, 1, "unit-array");
+        trace->setThreadName(tracePid, 2, "fetch");
+        units.setTrace(trace, tracePid, 1);
+    }
 
     sim::Engine engine("baseline-pipeline");
     engine.add(fetch);
@@ -174,6 +269,13 @@ runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
     BaselinePipelineResult result;
     result.cycles = engine.run();
     result.nmReads = fetch.nmReads();
+    units.flushTrace(engine.now());
+    fetch.flushTrace(trace, tracePid, 2);
+    result.micro.laneBusyCycles =
+        units.busyCycles() * static_cast<std::uint64_t>(lanes);
+    result.micro.laneIdleCycles =
+        units.idleCycles() * static_cast<std::uint64_t>(lanes);
+    result.micro.stalls.brickBufferEmpty = result.micro.laneIdleCycles;
 
     result.output = NeuronTensor(outShape);
     for (std::int64_t w = 0; w < windows; ++w) {

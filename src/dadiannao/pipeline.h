@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "dadiannao/config.h"
+#include "dadiannao/metrics.h"
 #include "nn/layer.h"
+#include "sim/trace_event.h"
 #include "tensor/neuron_tensor.h"
 
 namespace cnv::dadiannao {
@@ -34,14 +36,32 @@ struct BaselinePipelineResult
     tensor::NeuronTensor output;
     std::uint64_t cycles = 0;
     std::uint64_t nmReads = 0;
+    /**
+     * Lock-step lane occupancy: the whole array is busy or idle
+     * together, so laneBusyCycles + laneIdleCycles == cycles x lanes
+     * and every idle lane-cycle is a BrickBufferEmpty (NBin fill)
+     * wait — micro.stalls.total() == micro.laneIdleCycles.
+     */
+    MicroTrace micro;
 };
 
-/** Execute one conv layer through the structural baseline pipeline. */
+/**
+ * Execute one conv layer through the structural baseline pipeline.
+ *
+ * @param trace Optional event sink. When set, the run streams
+ *        Chrome trace events under process @p tracePid, mirroring
+ *        the CNV pipeline's track layout so the two traces diff
+ *        side by side: a unit-array track (tid 1) with busy/stall
+ *        spans and a fetch-stream track (tid 2).
+ * @param tracePid Trace process id to emit under.
+ */
 BaselinePipelineResult
 runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
                         const tensor::NeuronTensor &in,
                         const tensor::FilterBank &weights,
-                        const std::vector<tensor::Fixed16> &bias);
+                        const std::vector<tensor::Fixed16> &bias,
+                        sim::TraceSink *trace = nullptr,
+                        std::uint32_t tracePid = 2);
 
 } // namespace cnv::dadiannao
 

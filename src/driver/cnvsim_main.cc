@@ -9,6 +9,8 @@
  *   cnvsim validate <net> [opts]         functional equivalence check
  *   cnvsim zfnaf <net> [opts]            per-layer ZFNAf statistics
  *   cnvsim export-traces <net> [opts]    write per-layer traces to --out
+ *   cnvsim trace <net> [opts]            cycle-level event trace with
+ *                                        stall attribution (both archs)
  *   cnvsim reproduce [opts]              headline paper-vs-measured table
  *
  * Common options:
@@ -21,9 +23,14 @@
  *   --report-json PATH   write the run report (manifest + per-layer
  *                        timelines + summary) as JSON (run)
  *   --report-csv PATH    same report as CSV rows (run)
+ *   --net NAME     network (trace; alternative to the positional)
+ *   --trace-out PATH     write the Chrome trace-event JSON (trace)
+ *   --stall-csv PATH     write the per-layer stall breakdown (trace)
+ *   --max-events N       bound the trace sink (default 1048576)
  *
  * Options accept both "--flag value" and "--flag=value" spellings.
- * The report schema is documented in docs/observability.md.
+ * The report, trace-event and stall schemas are documented in
+ * docs/observability.md.
  */
 
 #include <chrono>
@@ -37,6 +44,7 @@
 #include "dadiannao/node.h"
 #include "driver/driver.h"
 #include "driver/stats_report.h"
+#include "driver/trace_pipeline.h"
 #include "nn/trace.h"
 #include "tensor/serialize.h"
 #include "zfnaf/format.h"
@@ -62,6 +70,10 @@ struct CliOptions
     std::string out = "traces";
     std::string reportJson;
     std::string reportCsv;
+    std::string net;
+    std::string traceOut;
+    std::string stallCsv;
+    std::size_t maxEvents = sim::TraceSink::kDefaultMaxEvents;
 };
 
 [[noreturn]] void
@@ -70,10 +82,12 @@ usage()
     std::cerr <<
         "usage: cnvsim <command> [network] [options]\n"
         "  commands: list | run | power | prune | validate | zfnaf |\n"
-        "            export-traces | reproduce\n"
+        "            export-traces | trace | reproduce\n"
         "  networks: alex google nin vgg19 cnnM cnnS\n"
         "  options : --images N --seed S --scale K --stats --layers\n"
-        "            --floor F --report-json PATH --report-csv PATH\n";
+        "            --floor F --report-json PATH --report-csv PATH\n"
+        "            --net NAME --trace-out PATH --stall-csv PATH\n"
+        "            --max-events N\n";
     std::exit(2);
 }
 
@@ -115,6 +129,14 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
             opts.reportJson = next();
         else if (args[i] == "--report-csv")
             opts.reportCsv = next();
+        else if (args[i] == "--net")
+            opts.net = next();
+        else if (args[i] == "--trace-out")
+            opts.traceOut = next();
+        else if (args[i] == "--stall-csv")
+            opts.stallCsv = next();
+        else if (args[i] == "--max-events")
+            opts.maxEvents = std::stoull(next());
         else if (args[i] == "--stats")
             opts.stats = true;
         else if (args[i] == "--layers")
@@ -348,6 +370,90 @@ cmdExportTraces(nn::zoo::NetId id, const CliOptions &opts)
 }
 
 int
+cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
+{
+    driver::ExperimentConfig cfg;
+    cfg.images = opts.images;
+    cfg.seed = opts.seed;
+    const auto net = nn::zoo::build(id, cfg.seed);
+
+    timing::RunOptions ropts;
+    ropts.imageSeed = cfg.seed;
+    const auto base = timing::simulateNetwork(
+        cfg.node, *net, timing::Arch::Baseline, ropts);
+    const auto cnvRun =
+        timing::simulateNetwork(cfg.node, *net, timing::Arch::Cnv, ropts);
+
+    sim::TraceSink sink(opts.maxEvents);
+    driver::appendNetworkTrace(sink, cnvRun, 1,
+                               sim::strfmt("cnv ({})", net->name()));
+    driver::appendNetworkTrace(
+        sink, base, 2, sim::strfmt("dadiannao ({})", net->name()));
+
+    // The attribution must account for every idle lane-cycle the
+    // models reported — a gap means a producer forgot its reason.
+    for (const auto *run : {&cnvRun, &base}) {
+        const auto profile = driver::buildStallProfile(*run);
+        const auto micro = run->totalMicro();
+        CNV_ASSERT(profile.totalIdle() == micro.laneIdleCycles,
+                   "{} stall breakdown ({}) != idle lane-cycles ({})",
+                   run->architecture, profile.totalIdle(),
+                   micro.laneIdleCycles);
+    }
+
+    auto open = [](const std::string &path) {
+        std::ofstream os(path);
+        if (!os)
+            CNV_FATAL("cannot open output file '{}'", path);
+        return os;
+    };
+    if (!opts.traceOut.empty()) {
+        auto os = open(opts.traceOut);
+        sink.writeJson(os, {sim::TraceArg("network", net->name()),
+                            sim::TraceArg("seed", opts.seed),
+                            sim::TraceArg("tool", "cnvsim trace")});
+        std::cout << "wrote " << sink.events().size()
+                  << " trace events to " << opts.traceOut;
+        if (sink.droppedEvents() > 0)
+            std::cout << " (" << sink.droppedEvents()
+                      << " dropped at the --max-events cap)";
+        std::cout << "\nload it in Perfetto (https://ui.perfetto.dev) or "
+                     "chrome://tracing; 1 trace us = 1 cycle\n";
+    }
+    if (!opts.stallCsv.empty()) {
+        auto os = open(opts.stallCsv);
+        bool header = true;
+        for (const auto *run : {&cnvRun, &base}) {
+            driver::buildStallProfile(*run).writeCsv(
+                os, run->architecture, header);
+            header = false;
+        }
+        std::cout << "wrote stall breakdown to " << opts.stallCsv << '\n';
+    }
+
+    // Per-reason summary, CNV vs baseline side by side.
+    const auto cnvProfile = driver::buildStallProfile(cnvRun);
+    const auto baseProfile = driver::buildStallProfile(base);
+    sim::Table t({"stall reason", "CNV lane-cycles",
+                  "baseline lane-cycles"});
+    for (int i = 0; i < sim::kStallReasonCount; ++i) {
+        const auto r = static_cast<sim::StallReason>(i);
+        t.addRow({sim::stallReasonName(r),
+                  sim::Table::intNum(cnvProfile.total(r)),
+                  sim::Table::intNum(baseProfile.total(r))});
+    }
+    t.addRow({"total idle", sim::Table::intNum(cnvProfile.totalIdle()),
+              sim::Table::intNum(baseProfile.totalIdle())});
+    t.print(std::cout);
+
+    if (opts.stats) {
+        driver::buildStats(base, power::Arch::Baseline)->dump(std::cout);
+        driver::buildStats(cnvRun, power::Arch::Cnv)->dump(std::cout);
+    }
+    return 0;
+}
+
+int
 cmdReproduce(const CliOptions &opts)
 {
     // The headline numbers of EXPERIMENTS.md in one run: Figure 1,
@@ -431,6 +537,14 @@ main(int argc, char **argv)
             return cmdList();
         if (command == "reproduce")
             return cmdReproduce(parseOptions(args, 1));
+        if (command == "trace" && args.size() >= 2 &&
+            args[1].rfind("--", 0) == 0) {
+            // trace also accepts its network via --net NAME.
+            const CliOptions opts = parseOptions(args, 1);
+            if (opts.net.empty())
+                usage();
+            return cmdTrace(nn::zoo::netFromName(opts.net), opts);
+        }
         if (args.size() < 2)
             usage();
         const auto id = nn::zoo::netFromName(args[1]);
@@ -447,6 +561,8 @@ main(int argc, char **argv)
             return cmdZfnaf(id, opts);
         if (command == "export-traces")
             return cmdExportTraces(id, opts);
+        if (command == "trace")
+            return cmdTrace(id, opts);
         usage();
     } catch (const sim::FatalError &e) {
         std::cerr << e.what() << '\n';

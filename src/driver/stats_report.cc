@@ -1,7 +1,6 @@
 #include "driver/stats_report.h"
 
-#include <algorithm>
-
+#include "driver/trace_pipeline.h"
 #include "sim/logging.h"
 #include "sim/stats_export.h"
 #include "timing/network_model.h"
@@ -9,15 +8,6 @@
 namespace cnv::driver {
 
 namespace {
-
-/** Stat-path-safe layer name (no '.' separators). */
-std::string
-sanitize(const std::string &name)
-{
-    std::string out = name;
-    std::replace(out.begin(), out.end(), '.', '_');
-    return out;
-}
 
 void
 fillActivity(sim::StatGroup &g, const dadiannao::Activity &a)
@@ -56,6 +46,22 @@ fillMicro(sim::StatGroup &g, const dadiannao::MicroTrace &m)
     g.addCounter("laneIdleCycles",
                  "per-unit lane-cycles idle (sync or memory)") +=
         m.laneIdleCycles;
+    sim::StatGroup &stalls = g.addGroup("stalls");
+    stalls.addCounter(
+        sim::stallReasonName(sim::StallReason::BrickBufferEmpty),
+        "lane-cycles idle waiting on NM brick fetches") +=
+        m.stalls.brickBufferEmpty;
+    stalls.addCounter(
+        sim::stallReasonName(sim::StallReason::WindowBarrier),
+        "lane-cycles idle at window-group sync barriers") +=
+        m.stalls.windowBarrier;
+    stalls.addCounter(sim::stallReasonName(sim::StallReason::SynapseWait),
+                      "lane-cycles idle on the off-chip synapse stream") +=
+        m.stalls.synapseWait;
+    stalls.addCounter(
+        sim::stallReasonName(sim::StallReason::SliceDrained),
+        "lane-cycles idle with the lane's slice drained") +=
+        m.stalls.sliceDrained;
     g.addCounter("encoderBusyCycles",
                  "cycles the serial encoder spent converting") +=
         m.encoderBusyCycles;
@@ -122,8 +128,7 @@ buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
     auto &layers = root->addGroup("layers");
     int index = 0;
     for (const dadiannao::LayerResult &layer : result.layers) {
-        auto &g = layers.addGroup(
-            sim::strfmt("L{}_{}", index++, sanitize(layer.name)));
+        auto &g = layers.addGroup(layerStatKey(index++, layer.name));
         g.addCounter("cycles", "layer cycles") += layer.cycles;
         g.addCounter("startCycle",
                      "layer's first cycle on the run timeline") +=

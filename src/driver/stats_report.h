@@ -26,7 +26,7 @@ namespace cnv::driver {
  *
  *   <arch>.cycles, <arch>.activity.{other,conv1,zero,nonZero,stall},
  *   <arch>.energy.{sbReads,nmReads,...}, <arch>.power.{sb,nm,...},
- *   <arch>.micro.{laneBusyCycles,...},
+ *   <arch>.micro.{laneBusyCycles,...,stalls.{brick_buffer_empty,...}},
  *   <arch>.layers.L<N>_<name>.{cycles,startCycle,activity,energy,micro}
  *
  * plus derived formulas (utilisation, zero share, joules, EDP).

@@ -57,6 +57,13 @@ netFromName(const std::string &name)
         if (name == netName(id))
             return id;
     }
+    // Common long-form spellings of the paper's network names.
+    if (name == "alexnet")
+        return NetId::Alex;
+    if (name == "googlenet" || name == "googLeNet")
+        return NetId::Google;
+    if (name == "vgg" || name == "vgg-19")
+        return NetId::Vgg19;
     CNV_FATAL("unknown network '{}'", name);
 }
 

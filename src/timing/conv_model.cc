@@ -259,9 +259,11 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
                 // Mirror the cycle-level model's per-pass lane
                 // accounting (laneTime includes empty-brick cycles).
                 r.micro.laneBusyCycles += laneSum;
-                r.micro.laneIdleCycles +=
+                const std::uint64_t barrier =
                     groupCycles * static_cast<std::uint64_t>(lanes) -
                     laneSum;
+                r.micro.laneIdleCycles += barrier;
+                r.micro.stalls.windowBarrier += barrier;
             }
         }
     }

@@ -112,6 +112,7 @@ fcCnvTiming(const dadiannao::NodeConfig &cfg, const nn::Node &node,
     r.micro.laneIdleCycles =
         (r.cycles - std::min(compute, r.cycles)) *
         static_cast<std::uint64_t>(cfg.lanes);
+    r.micro.stalls.synapseWait = r.micro.laneIdleCycles;
     r.energy.sbReads += bytes / 32; // 16-synapse (32-byte) fetches
     r.energy.multOps += static_cast<std::uint64_t>(
         static_cast<double>(node.fc.macs(node.inShape)) * nzFrac);
@@ -151,6 +152,8 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             // Exposed load time: every lane waits on the stream.
             loadStall.micro.laneIdleCycles =
                 loadStall.cycles * static_cast<std::uint64_t>(cfg.lanes);
+            loadStall.micro.stalls.synapseWait =
+                loadStall.micro.laneIdleCycles;
             if (loadStall.cycles > 0)
                 result.layers.push_back(loadStall);
 

@@ -2,173 +2,24 @@
  * @file
  * End-to-end validation of the machine-readable run report: build a
  * small two-conv-layer network, write the JSON report, parse it back
- * with a minimal in-test JSON parser, and check the schema the docs
+ * with the shared in-test JSON parser, and check the schema the docs
  * promise (manifest, per-layer timeline, aggregate summary).
  */
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
-#include <vector>
 
 #include "driver/stats_report.h"
 #include "nn/network.h"
+#include "support/json_parser.h"
 
 namespace {
 
 using namespace cnv;
-
-/** Minimal JSON value for schema checks (no number/int distinction). */
-struct Json
-{
-    enum class Kind { Null, Bool, Number, String, Object, Array };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::map<std::string, Json> object;
-    std::vector<Json> array;
-
-    const Json &
-    at(const std::string &key) const
-    {
-        auto it = object.find(key);
-        if (it == object.end()) {
-            ADD_FAILURE() << "missing key: " << key;
-            static const Json null;
-            return null;
-        }
-        return it->second;
-    }
-
-    bool has(const std::string &key) const { return object.count(key) > 0; }
-};
-
-/** Tiny recursive-descent parser for the exporter's output. */
-class Parser
-{
-  public:
-    explicit Parser(const std::string &text) : s_(text) {}
-
-    Json
-    parse()
-    {
-        Json v = value();
-        skipWs();
-        EXPECT_EQ(pos_, s_.size()) << "trailing content after document";
-        return v;
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        EXPECT_LT(pos_, s_.size()) << "unexpected end of document";
-        return pos_ < s_.size() ? s_[pos_] : '\0';
-    }
-
-    void
-    expect(char c)
-    {
-        EXPECT_EQ(peek(), c);
-        ++pos_;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c == '\\' && pos_ < s_.size()) {
-                const char esc = s_[pos_++];
-                switch (esc) {
-                  case 'n': out += '\n'; break;
-                  case 'r': out += '\r'; break;
-                  case 't': out += '\t'; break;
-                  case 'u':
-                    // Exporter only emits \u00xx control characters.
-                    out += static_cast<char>(
-                        std::stoi(s_.substr(pos_, 4), nullptr, 16));
-                    pos_ += 4;
-                    break;
-                  default: out += esc;
-                }
-            } else {
-                out += c;
-            }
-        }
-        EXPECT_LT(pos_, s_.size()) << "unterminated string";
-        ++pos_; // closing quote
-        return out;
-    }
-
-    Json
-    value()
-    {
-        Json v;
-        const char c = peek();
-        if (c == '{') {
-            v.kind = Json::Kind::Object;
-            ++pos_;
-            if (peek() == '}') { ++pos_; return v; }
-            while (true) {
-                const std::string key = [&] { skipWs(); return parseString(); }();
-                expect(':');
-                v.object.emplace(key, value());
-                if (peek() == ',') { ++pos_; continue; }
-                expect('}');
-                break;
-            }
-        } else if (c == '[') {
-            v.kind = Json::Kind::Array;
-            ++pos_;
-            if (peek() == ']') { ++pos_; return v; }
-            while (true) {
-                v.array.push_back(value());
-                if (peek() == ',') { ++pos_; continue; }
-                expect(']');
-                break;
-            }
-        } else if (c == '"') {
-            v.kind = Json::Kind::String;
-            v.text = parseString();
-        } else if (s_.compare(pos_, 4, "true") == 0) {
-            v.kind = Json::Kind::Bool;
-            v.boolean = true;
-            pos_ += 4;
-        } else if (s_.compare(pos_, 5, "false") == 0) {
-            v.kind = Json::Kind::Bool;
-            pos_ += 5;
-        } else if (s_.compare(pos_, 4, "null") == 0) {
-            pos_ += 4;
-        } else {
-            v.kind = Json::Kind::Number;
-            std::size_t used = 0;
-            v.number = std::stod(s_.substr(pos_), &used);
-            EXPECT_GT(used, 0u) << "bad number at offset " << pos_;
-            pos_ += used;
-        }
-        return v;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
+using testsupport::Json;
+using testsupport::Parser;
 
 /** A two-conv-layer network small enough for an in-test run. */
 nn::Network
