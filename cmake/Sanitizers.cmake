@@ -1,0 +1,43 @@
+# Sanitizer wiring: set CNV_SANITIZE to a comma-separated -fsanitize=
+# list ("address,undefined" or "thread") and link cnv_sanitizers into
+# every target (done centrally via cnv_warnings, which every library,
+# test, bench and example already links).
+#
+# Used by the CMakePresets.json `asan-ubsan` and `tsan` presets; see
+# docs/development.md for the workflow.
+
+set(CNV_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizer list (address,undefined | thread); empty disables")
+set_property(CACHE CNV_SANITIZE PROPERTY STRINGS
+    "" "address,undefined" "address" "undefined" "thread")
+
+add_library(cnv_sanitizers INTERFACE)
+
+if(CNV_SANITIZE)
+    string(REPLACE "," ";" _cnv_san_list "${CNV_SANITIZE}")
+    set(_cnv_san_known address undefined leak thread)
+    foreach(_san IN LISTS _cnv_san_list)
+        if(NOT _san IN_LIST _cnv_san_known)
+            message(FATAL_ERROR
+                "CNV_SANITIZE: unknown sanitizer '${_san}' "
+                "(known: ${_cnv_san_known})")
+        endif()
+    endforeach()
+    if("thread" IN_LIST _cnv_san_list AND
+       ("address" IN_LIST _cnv_san_list OR "leak" IN_LIST _cnv_san_list))
+        message(FATAL_ERROR
+            "CNV_SANITIZE: 'thread' cannot be combined with "
+            "'address'/'leak' (incompatible runtimes)")
+    endif()
+
+    # -fno-sanitize-recover turns every UBSan diagnostic into a hard
+    # failure so "ctest passes" really means "zero reports".
+    target_compile_options(cnv_sanitizers INTERFACE
+        -fsanitize=${CNV_SANITIZE}
+        -fno-sanitize-recover=all
+        -fno-omit-frame-pointer
+        -g)
+    target_link_options(cnv_sanitizers INTERFACE
+        -fsanitize=${CNV_SANITIZE})
+    message(STATUS "Sanitizers enabled: ${CNV_SANITIZE}")
+endif()

@@ -1,0 +1,32 @@
+# clang-tidy integration. Two entry points share the project
+# .clang-tidy config:
+#
+#   * CNV_CLANG_TIDY=ON runs clang-tidy inline with every compile
+#     (CMAKE_CXX_CLANG_TIDY) — slow but incremental.
+#   * tools/run_clang_tidy.py (registered as the `clang_tidy` CTest)
+#     batch-checks the whole codebase from compile_commands.json.
+#
+# Both degrade gracefully when clang-tidy is not installed: the
+# option becomes a no-op with a warning, and the CTest reports
+# SKIPPED. See docs/development.md.
+
+option(CNV_CLANG_TIDY "Run clang-tidy alongside compilation" OFF)
+
+find_program(CNV_CLANG_TIDY_EXE
+    NAMES clang-tidy
+          clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16
+          clang-tidy-15 clang-tidy-14
+    DOC "clang-tidy executable for CNV_CLANG_TIDY and the clang_tidy CTest")
+
+if(CNV_CLANG_TIDY)
+    if(CNV_CLANG_TIDY_EXE)
+        set(CMAKE_CXX_CLANG_TIDY "${CNV_CLANG_TIDY_EXE}")
+        message(STATUS "clang-tidy enabled: ${CNV_CLANG_TIDY_EXE}")
+    else()
+        message(WARNING "CNV_CLANG_TIDY=ON but clang-tidy was not found; "
+                        "continuing without it")
+    endif()
+endif()
+
+# The batch wrappers read the compilation database.
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)

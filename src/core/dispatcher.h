@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/geometry.h"
 #include "sim/engine.h"
 #include "sim/stats.h"
 #include "sim/trace_event.h"
@@ -50,7 +51,7 @@ using BrickData = std::vector<zfnaf::EncodedNeuron>;
 /** Configuration of the dispatcher/NM-bank model. */
 struct DispatcherConfig
 {
-    int lanes = 16;
+    int lanes = kPaperLanes;
     /** NM bank access latency in cycles. */
     int nmLatencyCycles = 2;
     /** Bricks a BB entry can hold (current + prefetched). */

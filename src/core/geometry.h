@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Named geometry constants of the paper's CNV configuration
+ * (Section IV-A), for defaults in the structural core models.
+ * `tools/cnvlint.py` bans bare geometry literals elsewhere: when a
+ * 16 means "lanes" or "banks", say so with one of these (full-node
+ * parameters live in `dadiannao::NodeConfig`; the brick size and
+ * value width in `zfnaf/format.h`).
+ */
+
+#ifndef CNV_CORE_GEOMETRY_H
+#define CNV_CORE_GEOMETRY_H
+
+namespace cnv::core {
+
+/** Neuron lanes (CNV subunits) per unit in the paper's node. */
+inline constexpr int kPaperLanes = 16;
+
+/** Independent NM banks feeding the dispatcher's brick buffer. */
+inline constexpr int kPaperNmBanks = 16;
+
+} // namespace cnv::core
+
+#endif // CNV_CORE_GEOMETRY_H

@@ -89,8 +89,10 @@ otherLayerTiming(const NodeConfig &cfg, const nn::Node &node,
         busyCycles = compute;
         memoryBound = true;
         inputReads = volume * passes;
+        // Each synapse is used exactly once, fetched in
+        // brick-wide (16-synapse) sublane reads.
         result.energy.sbReads +=
-            node.synapses() / 16; // each synapse used once, 16-wide
+            node.synapses() / static_cast<std::uint64_t>(cfg.brickSize);
         result.energy.multOps += node.fc.macs(node.inShape);
         result.energy.addOps += node.fc.macs(node.inShape);
         break;

@@ -336,7 +336,8 @@ cmdZfnaf(nn::zoo::NetId id, const CliOptions &opts)
                   sim::Table::pct(empty / bricks),
                   sim::Table::num(
                       static_cast<double>(enc.storageBits()) /
-                      (static_cast<double>(in.size()) * 16))});
+                      (static_cast<double>(in.size()) *
+                       zfnaf::kNeuronBits))});
     }
     t.print(std::cout);
     std::cout << "\nZFNAf keeps brick slots aligned, so the footprint is\n"

@@ -38,6 +38,7 @@ struct ExplorationPoint
 struct SearchOptions
 {
     /** Power-of-two threshold ladder (raw fixed-point units). */
+    // cnvlint: allow(magic-16) — Table II threshold data, not geometry
     std::vector<std::int32_t> levels = {0, 2, 4, 8, 16, 32, 64, 128, 256};
     /** Images for accuracy evaluation. */
     int accuracyImages = 12;

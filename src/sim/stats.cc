@@ -137,10 +137,13 @@ StatGroup::resetAll()
 void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
+    constexpr int kNameWidth = 48;
+    constexpr int kValueWidth = 16;
     const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
     for (const auto &stat : stats_) {
-        os << std::left << std::setw(48) << (base + "." + stat->name())
-           << ' ' << std::setw(16) << stat->value()
+        os << std::left << std::setw(kNameWidth)
+           << (base + "." + stat->name())
+           << ' ' << std::setw(kValueWidth) << stat->value()
            << " # " << stat->desc() << '\n';
     }
     for (const auto &group : groups_)

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Alignment-safe, aliasing-safe scalar load/store helpers for binary
+ * I/O. `memcpy` through a byte buffer is the only portable way to
+ * reinterpret object representations in C++ (reinterpret_cast'ing a
+ * buffer pointer to `T*` and dereferencing is undefined behaviour
+ * under the strict-aliasing and alignment rules); compilers lower
+ * these fixed-size copies to single moves, so there is no cost.
+ *
+ * Byte order is the host's (little-endian on every supported
+ * platform, as documented in tensor/serialize.h).
+ */
+
+#ifndef CNV_TENSOR_BYTES_H
+#define CNV_TENSOR_BYTES_H
+
+#include <cstring>
+#include <type_traits>
+
+namespace cnv::tensor {
+
+/** Read a trivially-copyable T from a possibly unaligned buffer. */
+template <typename T>
+inline T
+loadScalar(const void *src)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    std::memcpy(&v, src, sizeof(T));
+    return v;
+}
+
+/** Write a trivially-copyable T to a possibly unaligned buffer. */
+template <typename T>
+inline void
+storeScalar(void *dst, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(dst, &v, sizeof(T));
+}
+
+} // namespace cnv::tensor
+
+#endif // CNV_TENSOR_BYTES_H

@@ -1,11 +1,14 @@
 #include "tensor/serialize.h"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "sim/logging.h"
+#include "tensor/bytes.h"
 
 namespace cnv::tensor {
 
@@ -16,17 +19,19 @@ constexpr std::uint32_t kVersion = 1;
 void
 writeU32(std::ostream &os, std::uint32_t v)
 {
-    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    char buf[sizeof(v)];
+    storeScalar(buf, v);
+    os.write(buf, sizeof(buf));
 }
 
 std::uint32_t
 readU32(std::istream &is)
 {
-    std::uint32_t v = 0;
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    char buf[sizeof(std::uint32_t)] = {};
+    is.read(buf, sizeof(buf));
     if (!is)
         CNV_FATAL("truncated tensor stream");
-    return v;
+    return loadScalar<std::uint32_t>(buf);
 }
 
 void
@@ -48,12 +53,23 @@ expectMagic(std::istream &is, const char magic[4])
         CNV_FATAL("unsupported tensor stream version {}", version);
 }
 
+// Bulk element I/O goes through a fixed staging buffer: memcpy in or
+// out of the Fixed16 array keeps the stream interface on plain char
+// without ever aliasing Fixed16 storage through a char* lvalue.
+constexpr std::size_t kStageElems = 4096;
+
 void
 writeRaw(std::ostream &os, const Fixed16 *data, std::size_t count)
 {
     static_assert(sizeof(Fixed16) == sizeof(std::int16_t));
-    os.write(reinterpret_cast<const char *>(data),
-             static_cast<std::streamsize>(count * sizeof(Fixed16)));
+    std::array<char, kStageElems * sizeof(Fixed16)> stage;
+    for (std::size_t done = 0; done < count;) {
+        const std::size_t n = std::min(count - done, kStageElems);
+        std::memcpy(stage.data(), data + done, n * sizeof(Fixed16));
+        os.write(stage.data(),
+                 static_cast<std::streamsize>(n * sizeof(Fixed16)));
+        done += n;
+    }
     if (!os)
         CNV_FATAL("tensor write failed");
 }
@@ -61,10 +77,16 @@ writeRaw(std::ostream &os, const Fixed16 *data, std::size_t count)
 void
 readRaw(std::istream &is, Fixed16 *data, std::size_t count)
 {
-    is.read(reinterpret_cast<char *>(data),
-            static_cast<std::streamsize>(count * sizeof(Fixed16)));
-    if (!is)
-        CNV_FATAL("truncated tensor stream");
+    std::array<char, kStageElems * sizeof(Fixed16)> stage;
+    for (std::size_t done = 0; done < count;) {
+        const std::size_t n = std::min(count - done, kStageElems);
+        is.read(stage.data(),
+                static_cast<std::streamsize>(n * sizeof(Fixed16)));
+        if (!is)
+            CNV_FATAL("truncated tensor stream");
+        std::memcpy(data + done, stage.data(), n * sizeof(Fixed16));
+        done += n;
+    }
 }
 
 } // namespace

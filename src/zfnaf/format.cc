@@ -111,7 +111,9 @@ EncodedArray::storageBits() const
 {
     // Every slot is materialised (alignment is preserved); each
     // encoded neuron carries a 16-bit value plus an offset field.
-    const std::size_t perNeuron = 16 + static_cast<std::size_t>(offsetBits());
+    const std::size_t perNeuron =
+        static_cast<std::size_t>(kNeuronBits) +
+        static_cast<std::size_t>(offsetBits());
     return slots_.size() * perNeuron;
 }
 

@@ -33,6 +33,9 @@ namespace cnv::zfnaf {
 /** Brick size used by the paper's CNV configuration. */
 inline constexpr int kPaperBrickSize = 16;
 
+/** Bits per neuron value (16-bit fixed-point, Section IV-A). */
+inline constexpr int kNeuronBits = 16;
+
 /** One (value, offset) pair of the ZFNAf. */
 struct EncodedNeuron
 {

@@ -147,10 +147,11 @@ TEST(PipelineTrace, EmitsWellFormedOrderedNonOverlappingSpans)
             const double dur = e.at("dur").number;
             EXPECT_GT(dur, 0.0);
             auto [it, fresh] = laneEnd.emplace(lane, 0.0);
-            if (!fresh)
+            if (!fresh) {
                 EXPECT_GE(ts, it->second)
                     << "overlap on pid " << lane.first << " tid "
                     << lane.second;
+            }
             it->second = ts + dur;
             const std::string cat = e.at("cat").text;
             sawStall |= cat == "stall";

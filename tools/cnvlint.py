@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""cnvlint — Cnvlutin-specific invariants no generic linter can know.
+
+Run as a CTest check (see tests/CMakeLists.txt) from the repository
+root, or pass the root as the first argument. Five rules over
+``src/**``:
+
+  magic-16      The brick/lane/unit/filter/bank geometry of the paper
+                is 16 everywhere, so a bare literal ``16`` in library
+                code is almost always a geometry constant in disguise.
+                Literal 16s may only appear in the configuration
+                headers that *define* the named constants
+                (``src/dadiannao/config.h``, ``src/zfnaf/format.h``),
+                in ``constexpr`` constant definitions (the definition
+                names the value), or in the network-shape tables under
+                ``src/nn/zoo/`` (channel counts, not geometry).
+  include-guard Header guards follow ``CNV_<PATH>_H`` derived from the
+                path under src/ (e.g. src/sim/error.h ->
+                CNV_SIM_ERROR_H), with a matching #define.
+  error-style   Library code reports failure through
+                ``cnv::sim::PanicError``/``FatalError`` (via
+                CNV_PANIC/CNV_FATAL/CNV_ASSERT), never ``assert()``,
+                ``abort()`` or ``exit()``. ``static_assert`` is fine;
+                the CLI entry point (``src/driver/cnvsim_main.cc``)
+                may ``exit`` with a usage message.
+  cast-ban      ``reinterpret_cast`` and ``const_cast`` are banned —
+                use the memcpy helpers in ``tensor/bytes.h`` for byte
+                I/O. No current allowlist entries.
+  schema-docs   Every JSON field emitted by the exporters
+                (``w.key("...")`` literals in src/sim/stats_export.cc
+                and src/sim/trace_event.cc) must be documented in
+                docs/observability.md, so the wire schema and its
+                documentation cannot drift apart.
+
+Suppressions: append ``// cnvlint: allow(<rule>)`` (with an optional
+— justification) to the offending line or the line directly above
+it. Every suppression in the tree must be justified; the policy and
+current inventory live in docs/development.md.
+
+Exit status: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Files whose whole purpose is defining the named geometry constants.
+MAGIC16_FILE_ALLOWLIST = {
+    "src/dadiannao/config.h",
+    "src/zfnaf/format.h",
+}
+# Network-definition tables: literal channel counts, not geometry.
+MAGIC16_DIR_ALLOWLIST = ("src/nn/zoo/",)
+
+# The CLI front end may exit() after printing usage.
+ERROR_STYLE_ALLOWLIST = {
+    "src/driver/cnvsim_main.cc": {"exit"},
+}
+
+SCHEMA_SOURCES = ("src/sim/stats_export.cc", "src/sim/trace_event.cc")
+SCHEMA_DOC = "docs/observability.md"
+
+SUPPRESS = re.compile(r"cnvlint:\s*allow\(([a-z0-9-]+)\)")
+BARE_16 = re.compile(r"(?<![\w.])16(?![\w.])")
+ERROR_CALLS = re.compile(r"(?<![\w:.])(assert|abort|exit)\s*\(")
+BANNED_CASTS = re.compile(r"\b(reinterpret_cast|const_cast)\b")
+KEY_LITERAL = re.compile(r'\bkey\("([^"]+)"\)')
+
+
+def strip_comments(text: str) -> str:
+    """Blank out block comments, preserving line structure."""
+    return re.sub(
+        r"/\*.*?\*/",
+        lambda m: "\n" * m.group(0).count("\n"),
+        text,
+        flags=re.S,
+    )
+
+
+def code_of(line: str) -> str:
+    """The code part of one line: no trailing //-comment, no strings."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//")[0]
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.problems: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.root)
+        self.problems.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    def suppressed(self, lines: list[str], idx: int, rule: str) -> bool:
+        """allow(<rule>) on this line or the full-line comment above."""
+        for probe in (idx, idx - 1):
+            if 0 <= probe < len(lines):
+                m = SUPPRESS.search(lines[probe])
+                if m and m.group(1) == rule:
+                    return True
+        return False
+
+    # --- rules ---------------------------------------------------------
+
+    def check_magic16(self, path: Path, lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        if rel in MAGIC16_FILE_ALLOWLIST:
+            return
+        if rel.startswith(MAGIC16_DIR_ALLOWLIST):
+            return
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            if not BARE_16.search(code):
+                continue
+            # A constexpr definition names the value; that is the point.
+            if re.search(r"\bconstexpr\b.*=", code):
+                continue
+            if self.suppressed(lines, idx, "magic-16"):
+                continue
+            self.report(
+                path, idx + 1, "magic-16",
+                "bare literal 16 — use the named geometry constant "
+                "(NodeConfig field, zfnaf::kPaperBrickSize/kNeuronBits) "
+                "or a constexpr definition",
+            )
+
+    def check_include_guard(self, path: Path, text: str) -> None:
+        rel = path.relative_to(self.root / "src")
+        expected = "CNV_" + re.sub(
+            r"[^A-Z0-9]", "_", str(rel).upper()
+        )
+        m = re.search(r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", text)
+        if not m:
+            self.report(path, 1, "include-guard",
+                        f"missing #ifndef/#define guard {expected}")
+            return
+        if m.group(1) != expected or m.group(2) != expected:
+            self.report(
+                path, text[: m.start()].count("\n") + 1, "include-guard",
+                f"guard is {m.group(1)}, expected {expected}",
+            )
+
+    def check_error_style(self, path: Path, lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        allowed = ERROR_STYLE_ALLOWLIST.get(rel, set())
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            for m in ERROR_CALLS.finditer(code):
+                name = m.group(1)
+                # static_assert is a different (compile-time) animal.
+                if name == "assert" and "static_assert" in code:
+                    continue
+                if name in allowed:
+                    continue
+                if self.suppressed(lines, idx, "error-style"):
+                    continue
+                self.report(
+                    path, idx + 1, "error-style",
+                    f"{name}() in library code — throw via CNV_PANIC/"
+                    "CNV_FATAL/CNV_ASSERT (sim/logging.h) so embedders "
+                    "and tests can observe the failure",
+                )
+
+    def check_cast_ban(self, path: Path, lines: list[str]) -> None:
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            m = BANNED_CASTS.search(code)
+            if not m:
+                continue
+            if self.suppressed(lines, idx, "cast-ban"):
+                continue
+            self.report(
+                path, idx + 1, "cast-ban",
+                f"{m.group(1)} — use the memcpy helpers in "
+                "tensor/bytes.h (or justify with a suppression)",
+            )
+
+    def check_schema_docs(self) -> None:
+        doc_path = self.root / SCHEMA_DOC
+        if not doc_path.is_file():
+            self.problems.append(f"{SCHEMA_DOC}: missing (schema-docs)")
+            return
+        doc_words = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*",
+                                   doc_path.read_text()))
+        for rel in SCHEMA_SOURCES:
+            src = self.root / rel
+            text = strip_comments(src.read_text())
+            for idx, line in enumerate(text.splitlines()):
+                for m in KEY_LITERAL.finditer(line):
+                    field = m.group(1)
+                    if field not in doc_words:
+                        self.report(
+                            src, idx + 1, "schema-docs",
+                            f'emitted field "{field}" is not mentioned '
+                            f"in {SCHEMA_DOC}",
+                        )
+
+    # --- driver --------------------------------------------------------
+
+    def run(self) -> int:
+        sources = sorted(
+            p for p in (self.root / "src").rglob("*")
+            if p.suffix in (".h", ".cc")
+        )
+        if not sources:
+            print("cnvlint: no sources under src/", file=sys.stderr)
+            return 2
+        for path in sources:
+            raw = path.read_text()
+            # Block comments blanked; //-comments survive so the
+            # suppression scan still sees them (code_of strips them
+            # before matching).
+            lines = strip_comments(raw).splitlines()
+            self.check_magic16(path, lines)
+            self.check_error_style(path, lines)
+            self.check_cast_ban(path, lines)
+            if path.suffix == ".h":
+                self.check_include_guard(path, raw)
+        self.check_schema_docs()
+
+        for p in self.problems:
+            print(p, file=sys.stderr)
+        print(f"cnvlint: {len(sources)} files, "
+              f"{len(self.problems)} problem(s)")
+        return 1 if self.problems else 0
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path.cwd()
+    if not (root / "src").is_dir():
+        print(f"cnvlint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Formatting gate: ``clang-format --dry-run -Werror`` over the tree.
+
+Run as the ``format_check`` CTest (see tests/CMakeLists.txt) or by
+hand from the repo root::
+
+    tools/run_clang_format.py [DIR ...]   (default: src tests bench examples)
+
+Uses the project ``.clang-format``. Exit status: 0 clean, 1 files
+need reformatting, 2 setup error, 77 when clang-format is not
+installed (CTest reports SKIPPED via SKIP_RETURN_CODE).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+CANDIDATES = (
+    "clang-format",
+    "clang-format-19", "clang-format-18", "clang-format-17",
+    "clang-format-16", "clang-format-15", "clang-format-14",
+)
+
+
+def find_clang_format() -> str | None:
+    env = os.environ.get("CLANG_FORMAT")
+    if env:
+        return env if shutil.which(env) else None
+    for name in CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def main(argv: list[str]) -> int:
+    fmt = find_clang_format()
+    if fmt is None:
+        print("run_clang_format: clang-format not found; skipping "
+              "(install clang-format or set CLANG_FORMAT)",
+              file=sys.stderr)
+        return SKIP
+
+    root = Path(__file__).resolve().parent.parent
+    roots = [root / a for a in argv[1:]] or [
+        root / d for d in ("src", "tests", "bench", "examples")
+    ]
+    files = sorted(
+        str(f)
+        for r in roots
+        for pattern in ("*.h", "*.cc", "*.cpp")
+        for f in r.rglob(pattern)
+    )
+    if not files:
+        print("run_clang_format: no sources found", file=sys.stderr)
+        return 2
+
+    proc = subprocess.run(
+        [fmt, "--dry-run", "-Werror", "--style=file", *files],
+        cwd=root)
+    status = "clean" if proc.returncode == 0 else "NEEDS REFORMAT"
+    print(f"run_clang_format: {len(files)} files, {status}")
+    return 0 if proc.returncode == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Smoke-check cnvsim's user-error surfacing.
+
+Run as the ``cnvsim_cli_errors`` CTest (see tests/CMakeLists.txt):
+verifies that `cnv::sim::FatalError` and argument mistakes reach the
+user as a non-zero exit with a diagnostic on stderr — the contract
+docs/development.md documents for embedding scripts — instead of a
+crash, a zero exit, or a silent stdout message.
+
+Cases:
+  * unknown network        -> exit 1, "fatal:" + the bad name on stderr
+  * unknown flag           -> exit 2, usage text on stderr
+  * malformed flag value   -> exit 1, diagnostic on stderr
+  * missing --net (trace)  -> exit 2, usage text on stderr
+  * unwritable report path -> exit 1, "fatal:" + the path on stderr
+
+Usage: smoke_cli_errors.py CNVSIM
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def run(cnvsim: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([cnvsim, *args], capture_output=True, text=True)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cnvsim = argv[1]
+    problems: list[str] = []
+
+    def expect(label: str, proc: subprocess.CompletedProcess,
+               code: int, stderr_needles: list[str]) -> None:
+        if proc.returncode != code:
+            problems.append(
+                f"{label}: exit {proc.returncode}, expected {code}")
+        for needle in stderr_needles:
+            if needle not in proc.stderr:
+                problems.append(
+                    f"{label}: stderr lacks {needle!r} "
+                    f"(stderr was: {proc.stderr!r})")
+        if proc.returncode != 0 and not proc.stderr.strip():
+            problems.append(f"{label}: non-zero exit but empty stderr")
+
+    expect("unknown network",
+           run(cnvsim, "run", "no-such-net", "--images", "1"),
+           1, ["fatal:", "no-such-net"])
+    expect("unknown flag",
+           run(cnvsim, "run", "alex", "--bogus-flag"),
+           2, ["usage:"])
+    expect("malformed flag value",
+           run(cnvsim, "run", "alex", "--images", "notanumber"),
+           1, ["error"])
+    expect("trace without --net",
+           run(cnvsim, "trace", "--images", "1"),
+           2, ["usage:"])
+    expect("unwritable report path",
+           run(cnvsim, "run", "nin", "--images", "1",
+               "--report-json", "/nonexistent-dir/report.json"),
+           1, ["fatal:", "/nonexistent-dir/report.json"])
+
+    for p in problems:
+        print(f"smoke_cli_errors: {p}", file=sys.stderr)
+    print(f"smoke_cli_errors: 5 cases, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
