@@ -7,6 +7,7 @@
 
 #include <fstream>
 
+#include "arch/registry.h"
 #include "common.h"
 #include "driver/trace_pipeline.h"
 #include "pruning/explore.h"
@@ -82,16 +83,13 @@ main(int argc, char **argv)
             // manifest's root seed like the driver reports.
             timing::RunOptions ropts;
             ropts.imageSeed = cfg.seed;
-            const auto cnvRun = timing::simulateNetwork(
-                cfg.node, *net, timing::Arch::Cnv, ropts);
-            const auto baseRun = timing::simulateNetwork(
-                cfg.node, *net, timing::Arch::Baseline, ropts);
-            driver::appendNetworkTrace(
-                trace, cnvRun, tracePid++,
-                sim::strfmt("cnv ({})", net->name()));
-            driver::appendNetworkTrace(
-                trace, baseRun, tracePid++,
-                sim::strfmt("dadiannao ({})", net->name()));
+            for (const char *archId : {"cnv", "dadiannao"}) {
+                const auto &model = arch::builtin().get(archId);
+                driver::appendNetworkTrace(
+                    trace, model.simulateNetwork(cfg.node, *net, ropts),
+                    tracePid++,
+                    sim::strfmt("{} ({})", archId, net->name()));
+            }
         }
 
         double pruned = plain.speedup();
@@ -115,9 +113,9 @@ main(int argc, char **argv)
 
         auto &g = fig.addGroup(std::string(nn::zoo::netName(id)));
         g.addCounter("baselineCycles", "baseline cycles over images") +=
-            plain.baselineCycles;
+            plain.arch("dadiannao").cycles;
         g.addCounter("cnvCycles", "CNV cycles over images") +=
-            plain.cnvCycles;
+            plain.arch("cnv").cycles;
         g.addScalar("speedup", "measured CNV speedup") = plain.speedup();
         g.addScalar("paperSpeedup", "paper's Figure 9 bar (approx)") =
             paperCnv(id);

@@ -56,17 +56,17 @@ main(int argc, char **argv)
     };
     for (auto id : nn::zoo::allNetworks()) {
         const auto report = driver::evaluateZooNetwork(cfg, id);
-        const double norm =
-            static_cast<double>(report.baselineActivity.total());
+        const auto &baseAct = report.arch("dadiannao").activity;
+        const auto &cnvAct = report.arch("cnv").activity;
+        const double norm = static_cast<double>(baseAct.total());
         t.addRow(breakdownRow(std::string(nn::zoo::netName(id)) + " (b)",
-                              report.baselineActivity, norm));
+                              baseAct, norm));
         t.addRow(breakdownRow(std::string(nn::zoo::netName(id)) + " (c)",
-                              report.cnvActivity, norm));
+                              cnvAct, norm));
 
         auto &g = fig.addGroup(std::string(nn::zoo::netName(id)));
-        fillActivity(g.addGroup("baseline"), report.baselineActivity,
-                     norm);
-        fillActivity(g.addGroup("cnv"), report.cnvActivity, norm);
+        fillActivity(g.addGroup("baseline"), baseAct, norm);
+        fillActivity(g.addGroup("cnv"), cnvAct, norm);
     }
     bench::emit(opts,
                 "Figure 10: execution activity breakdown, CNV (c) "

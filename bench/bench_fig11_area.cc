@@ -6,6 +6,7 @@
  * paper's synthesis results.
  */
 
+#include "arch/registry.h"
 #include "common.h"
 #include "power/model.h"
 
@@ -16,8 +17,8 @@ main(int argc, char **argv)
 {
     const auto opts = bench::parseArgs(argc, argv);
 
-    const auto base = power::areaOf(power::Arch::Baseline);
-    const auto cnvA = power::areaOf(power::Arch::Cnv);
+    const auto base = arch::builtin().get("dadiannao").area();
+    const auto cnvA = arch::builtin().get("cnv").area();
 
     sim::Table t({"component", "baseline (mm^2)", "CNV (mm^2)",
                   "CNV/baseline", "paper"});

@@ -38,13 +38,12 @@ main(int argc, char **argv)
 
     for (auto id : nn::zoo::allNetworks()) {
         const auto r = driver::evaluateZooNetwork(cfg, id);
-        accumulate(baseAvg,
-                   power::powerOf(power::Arch::Baseline, r.baselineEnergy,
-                                  r.baselineCycles),
+        const auto &base = r.arch("dadiannao");
+        const auto &cnvAgg = r.arch("cnv");
+        accumulate(baseAvg, base.model->power(base.energy, base.cycles),
                    1.0 / 6);
         accumulate(cnvAvg,
-                   power::powerOf(power::Arch::Cnv, r.cnvEnergy,
-                                  r.cnvCycles),
+                   cnvAgg.model->power(cnvAgg.energy, cnvAgg.cycles),
                    1.0 / 6);
     }
 

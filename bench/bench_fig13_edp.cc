@@ -26,11 +26,11 @@ main(int argc, char **argv)
     double sumEdp = 0.0, sumEd2p = 0.0;
     for (auto id : nn::zoo::allNetworks()) {
         const auto r = driver::evaluateZooNetwork(cfg, id);
-        const auto mb = power::metricsOf(power::Arch::Baseline,
-                                         r.baselineEnergy,
-                                         r.baselineCycles);
-        const auto mc = power::metricsOf(power::Arch::Cnv, r.cnvEnergy,
-                                         r.cnvCycles);
+        const auto &base = r.arch("dadiannao");
+        const auto &cnvAgg = r.arch("cnv");
+        const auto mb = base.model->metrics(base.energy, base.cycles);
+        const auto mc =
+            cnvAgg.model->metrics(cnvAgg.energy, cnvAgg.cycles);
         const double edp = mb.edp / mc.edp;
         const double ed2p = mb.ed2p / mc.ed2p;
         sumEdp += edp;

@@ -19,11 +19,13 @@
 #ifndef CNV_BENCH_COMMON_H
 #define CNV_BENCH_COMMON_H
 
+#include <charconv>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "driver/driver.h"
@@ -73,10 +75,23 @@ parseArgs(int argc, char **argv, int defaultImages = 2)
             }
             return args[++i];
         };
+        // Whole-string numeric parse: a value like "2x" or "abc"
+        // must be a clean exit-2 diagnostic, not an uncaught
+        // std::invalid_argument out of std::stoi.
+        auto numeric = [&](auto &out) {
+            const std::string value = next();
+            const auto [ptr, ec] = std::from_chars(
+                value.data(), value.data() + value.size(), out);
+            if (ec != std::errc() || ptr != value.data() + value.size()) {
+                std::cerr << "invalid numeric value '" << value
+                          << "' for " << arg << '\n';
+                std::exit(2);
+            }
+        };
         if (arg == "--images") {
-            opts.images = std::stoi(next());
+            numeric(opts.images);
         } else if (arg == "--seed") {
-            opts.seed = std::stoull(next());
+            numeric(opts.seed);
         } else if (arg == "--json") {
             opts.json = next();
         } else if (arg == "--trace-out") {

@@ -1,0 +1,192 @@
+#include "arch/arch_model.h"
+
+#include <memory>
+#include <utility>
+
+#include "arch/registry.h"
+#include "sim/logging.h"
+
+namespace cnv::arch {
+
+dadiannao::NodeConfig
+ArchModel::nodeConfig(const dadiannao::NodeConfig &base) const
+{
+    return base;
+}
+
+void
+ArchModel::validateNode(const dadiannao::NodeConfig &cfg) const
+{
+    cfg.validate();
+}
+
+dadiannao::LayerResult
+ArchModel::otherTiming(const dadiannao::NodeConfig &cfg,
+                       const nn::Node &node,
+                       dadiannao::OverlapTracker &overlap) const
+{
+    return dadiannao::otherLayerTiming(cfg, node, overlap);
+}
+
+namespace {
+
+/**
+ * Nominal uniform pruning threshold for cnv-pruned runs without an
+ * explicit PruneConfig: 16 raw Q7.8 units (0.0625), standing in for
+ * the per-network lossless search (`cnvsim prune` finds the real
+ * thresholds; pass a PruneConfig through RunOptions to use them).
+ */
+constexpr std::int32_t kDefaultPruneThreshold = 16;
+
+/**
+ * The built-in variants share one implementation: a timing/power
+ * enum pair plus optional geometry overrides and the cnv-pruned
+ * default-threshold behaviour.
+ */
+class BuiltinModel : public ArchModel
+{
+  public:
+    BuiltinModel(std::string id, std::string displayName,
+                 timing::Arch timingArch, power::Arch powerArch,
+                 int brickSize = 0, bool defaultPrune = false)
+        : id_(std::move(id)), displayName_(std::move(displayName)),
+          timing_(timingArch), power_(powerArch), brickSize_(brickSize),
+          defaultPrune_(defaultPrune)
+    {
+    }
+
+    const std::string &
+    id() const override
+    {
+        return id_;
+    }
+
+    const std::string &
+    displayName() const override
+    {
+        return displayName_;
+    }
+
+    dadiannao::NodeConfig
+    nodeConfig(const dadiannao::NodeConfig &base) const override
+    {
+        dadiannao::NodeConfig cfg = base;
+        if (brickSize_ > 0) {
+            // One lane drains one brick slot, and NM banking follows
+            // the lane count (bench_abl_brick_size's sweep geometry).
+            cfg.brickSize = brickSize_;
+            cfg.lanes = brickSize_;
+            cfg.nmBanks = brickSize_;
+        }
+        return cfg;
+    }
+
+    dadiannao::NetworkResult
+    simulateNetwork(const dadiannao::NodeConfig &base,
+                    const nn::Network &net,
+                    const timing::RunOptions &opts) const override
+    {
+        const dadiannao::NodeConfig cfg = nodeConfig(base);
+        validateNode(cfg);
+        timing::RunOptions run = opts;
+        nn::PruneConfig defaults;
+        if (defaultPrune_ && run.prune == nullptr) {
+            defaults.thresholds.assign(
+                static_cast<std::size_t>(net.convLayerCount()),
+                kDefaultPruneThreshold);
+            run.prune = &defaults;
+        }
+        dadiannao::NetworkResult result =
+            timing::simulateNetwork(cfg, net, timing_, run);
+        result.architecture = id_;
+        return result;
+    }
+
+    dadiannao::LayerResult
+    convTiming(const dadiannao::NodeConfig &cfg, const nn::Node &node,
+               const timing::CountMap &counts) const override
+    {
+        return timing::convLayerTiming(cfg, timing_, node, counts);
+    }
+
+    dadiannao::LayerResult
+    fcTiming(const dadiannao::NodeConfig &cfg, const nn::Network &net,
+             int nodeId, dadiannao::OverlapTracker &overlap) const override
+    {
+        return timing::fcLayerTiming(cfg, timing_, net, nodeId, overlap);
+    }
+
+    power::AreaBreakdown
+    area(const power::PowerParams &p) const override
+    {
+        return power::areaOf(power_, p);
+    }
+
+    power::PowerBreakdown
+    power(const dadiannao::EnergyCounters &counters, std::uint64_t cycles,
+          const power::PowerParams &p) const override
+    {
+        return power::powerOf(power_, counters, cycles, p);
+    }
+
+    power::RunMetrics
+    metrics(const dadiannao::EnergyCounters &counters, std::uint64_t cycles,
+            const power::PowerParams &p) const override
+    {
+        return power::metricsOf(power_, counters, cycles, p);
+    }
+
+  private:
+    std::string id_;
+    std::string displayName_;
+    timing::Arch timing_;
+    power::Arch power_;
+    /** Geometry override: brick = lanes = NM banks; 0 = inherit. */
+    int brickSize_;
+    /** cnv-pruned: synthesize default thresholds when none given. */
+    bool defaultPrune_;
+};
+
+} // namespace
+
+std::shared_ptr<const ArchModel>
+makeCnvVariant(std::string id, std::string displayName, int brickSize)
+{
+    CNV_ASSERT(brickSize > 0, "CNV variant needs a positive brick size");
+    return std::make_shared<BuiltinModel>(
+        std::move(id), std::move(displayName), timing::Arch::Cnv,
+        power::Arch::Cnv, brickSize);
+}
+
+const ArchRegistry &
+builtin()
+{
+    static const ArchRegistry registry = [] {
+        ArchRegistry r;
+        r.add(std::make_shared<BuiltinModel>(
+            "dadiannao", "DaDianNao baseline", timing::Arch::Baseline,
+            power::Arch::Baseline));
+        r.add(std::make_shared<BuiltinModel>(
+            "cnv", "Cnvlutin", timing::Arch::Cnv, power::Arch::Cnv));
+        r.add(std::make_shared<BuiltinModel>(
+            "cnv-pruned", "Cnvlutin + dynamic pruning",
+            timing::Arch::Cnv, power::Arch::Cnv, /*brickSize=*/0,
+            /*defaultPrune=*/true));
+        for (int brick : {4, 8, 32})
+            r.add(makeCnvVariant(sim::strfmt("cnv-b{}", brick),
+                                 sim::strfmt("Cnvlutin ({}-neuron bricks)",
+                                             brick),
+                                 brick));
+        return r;
+    }();
+    return registry;
+}
+
+std::vector<const ArchModel *>
+canonicalPair()
+{
+    const ArchRegistry &r = builtin();
+    return {&r.get("dadiannao"), &r.get("cnv")};
+}
+
+} // namespace cnv::arch

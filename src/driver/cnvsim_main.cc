@@ -3,17 +3,20 @@
  * cnvsim — the command-line front end to the simulator.
  *
  *   cnvsim list                          network inventory
- *   cnvsim run <net> [opts]              timing run on both archs
+ *   cnvsim archs                         architecture registry listing
+ *   cnvsim run <net> [opts]              timing run on selected archs
  *   cnvsim power <net> [opts]            power / energy / EDP
  *   cnvsim prune <net> [opts]            lossless threshold search
  *   cnvsim validate <net> [opts]         functional equivalence check
  *   cnvsim zfnaf <net> [opts]            per-layer ZFNAf statistics
  *   cnvsim export-traces <net> [opts]    write per-layer traces to --out
  *   cnvsim trace <net> [opts]            cycle-level event trace with
- *                                        stall attribution (both archs)
+ *                                        stall attribution
  *   cnvsim reproduce [opts]              headline paper-vs-measured table
  *
  * Common options:
+ *   --arch a,b,... architectures to run, by registry id (default
+ *                  "dadiannao,cnv"; see `cnvsim archs`)
  *   --images N     trace instances (default 2)
  *   --seed S       root seed (default 2016)
  *   --scale K      reduced-scale geometry (validate/prune accuracy)
@@ -40,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/registry.h"
 #include "core/node.h"
 #include "dadiannao/node.h"
 #include "driver/driver.h"
@@ -61,6 +65,7 @@ using namespace cnv;
 
 struct CliOptions
 {
+    std::string archs = "dadiannao,cnv";
     int images = 2;
     std::uint64_t seed = 2016;
     int scale = 8;
@@ -81,13 +86,13 @@ usage()
 {
     std::cerr <<
         "usage: cnvsim <command> [network] [options]\n"
-        "  commands: list | run | power | prune | validate | zfnaf |\n"
-        "            export-traces | trace | reproduce\n"
+        "  commands: list | archs | run | power | prune | validate |\n"
+        "            zfnaf | export-traces | trace | reproduce\n"
         "  networks: alex google nin vgg19 cnnM cnnS\n"
-        "  options : --images N --seed S --scale K --stats --layers\n"
-        "            --floor F --report-json PATH --report-csv PATH\n"
-        "            --net NAME --trace-out PATH --stall-csv PATH\n"
-        "            --max-events N\n";
+        "  options : --arch a,b,... --images N --seed S --scale K\n"
+        "            --stats --layers --floor F --report-json PATH\n"
+        "            --report-csv PATH --net NAME --trace-out PATH\n"
+        "            --stall-csv PATH --max-events N\n";
     std::exit(2);
 }
 
@@ -115,7 +120,9 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
                 usage();
             return args[++i];
         };
-        if (args[i] == "--images")
+        if (args[i] == "--arch")
+            opts.archs = next();
+        else if (args[i] == "--images")
             opts.images = std::stoi(next());
         else if (args[i] == "--seed")
             opts.seed = std::stoull(next());
@@ -147,15 +154,24 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
     return opts;
 }
 
+/** The architecture models selected with --arch (registry order
+ *  preserved as given; fatal on unknown ids). */
+std::vector<const arch::ArchModel *>
+selectedArchs(const CliOptions &opts)
+{
+    return arch::builtin().select(opts.archs);
+}
+
 /** Write one run report to the paths requested on the command line. */
 void
 writeReports(const CliOptions &opts, const driver::ExperimentConfig &cfg,
              const nn::Network &net,
+             const std::vector<const arch::ArchModel *> &archs,
              std::chrono::steady_clock::time_point t0)
 {
     if (opts.reportJson.empty() && opts.reportCsv.empty())
         return;
-    driver::RunReport report = driver::buildRunReport(cfg, net);
+    driver::RunReport report = driver::buildRunReport(cfg, net, archs);
     report.manifest.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -197,6 +213,26 @@ cmdList()
 }
 
 int
+cmdArchs()
+{
+    const dadiannao::NodeConfig base;
+    sim::Table t({"id", "architecture", "brick", "lanes", "NM banks",
+                  "area mm^2"});
+    for (const auto &model : arch::builtin().models()) {
+        const auto cfg = model->nodeConfig(base);
+        t.addRow({model->id(), model->displayName(),
+                  std::to_string(cfg.brickSize),
+                  std::to_string(cfg.lanes), std::to_string(cfg.nmBanks),
+                  sim::Table::num(model->area().total())});
+    }
+    t.print(std::cout);
+    std::cout << "\nselect with `cnvsim run <net> --arch "
+                 "dadiannao,cnv,...` (report sections are keyed by "
+                 "id).\n";
+    return 0;
+}
+
+int
 cmdRun(nn::zoo::NetId id, const CliOptions &opts)
 {
     const auto t0 = std::chrono::steady_clock::now();
@@ -204,53 +240,69 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
     cfg.images = opts.images;
     cfg.seed = opts.seed;
     const auto net = nn::zoo::build(id, cfg.seed);
+    const auto archs = selectedArchs(opts);
+    const auto &ref = *archs.front();
 
-    if (opts.layers) {
+    // Single-image per-layer timelines, one run per selected arch
+    // (also reused by --stats below).
+    std::vector<driver::ArchTimeline> timelines;
+    if (opts.layers || opts.stats) {
         timing::RunOptions ropts;
         ropts.imageSeed = cfg.seed;
-        const auto base = timing::simulateNetwork(
-            cfg.node, *net, timing::Arch::Baseline, ropts);
-        const auto cnvRun = timing::simulateNetwork(
-            cfg.node, *net, timing::Arch::Cnv, ropts);
-        sim::Table t({"layer", "baseline cycles", "CNV cycles",
-                      "speedup"});
-        for (std::size_t i = 0; i < base.layers.size(); ++i) {
-            const auto &b = base.layers[i];
-            const auto &c = cnvRun.layers[i];
-            if (b.cycles == 0 && c.cycles == 0)
-                continue;
-            t.addRow({b.name, sim::Table::intNum(b.cycles),
-                      sim::Table::intNum(c.cycles),
-                      c.cycles
-                          ? sim::Table::num(static_cast<double>(b.cycles) /
-                                            c.cycles)
-                          : "-"});
+        for (const arch::ArchModel *model : archs)
+            timelines.push_back(
+                {model, model->simulateNetwork(cfg.node, *net, ropts)});
+    }
+
+    if (opts.layers) {
+        std::vector<std::string> header{"layer"};
+        for (const arch::ArchModel *model : archs)
+            header.push_back(model->id() + " cycles");
+        for (std::size_t a = 1; a < archs.size(); ++a)
+            header.push_back(archs[a]->id() + " speedup");
+        sim::Table t(header);
+        const auto &refLayers = timelines.front().result.layers;
+        for (std::size_t i = 0; i < refLayers.size(); ++i) {
+            bool allZero = true;
+            std::vector<std::string> row{refLayers[i].name};
+            for (const driver::ArchTimeline &tl : timelines) {
+                const auto &layer = tl.result.layers[i];
+                allZero &= layer.cycles == 0;
+                row.push_back(sim::Table::intNum(layer.cycles));
+            }
+            for (std::size_t a = 1; a < timelines.size(); ++a) {
+                const auto cycles = timelines[a].result.layers[i].cycles;
+                row.push_back(
+                    cycles ? sim::Table::num(
+                                 static_cast<double>(refLayers[i].cycles) /
+                                 static_cast<double>(cycles))
+                           : "-");
+            }
+            if (!allZero)
+                t.addRow(row);
         }
         t.print(std::cout);
     }
 
-    const auto report = driver::evaluateNetwork(cfg, *net);
+    const auto report =
+        driver::evaluateNetworkArchs(cfg, *net, archs);
     std::cout << "\n" << net->name() << " over " << cfg.images
-              << " image(s):\n"
-              << "  baseline cycles : "
-              << sim::Table::intNum(report.baselineCycles) << "\n"
-              << "  CNV cycles      : "
-              << sim::Table::intNum(report.cnvCycles) << "\n"
-              << "  speedup         : "
-              << sim::Table::num(report.speedup()) << "x\n";
+              << " image(s):\n";
+    sim::Table t({"architecture", "cycles",
+                  "speedup vs " + ref.id()});
+    for (const driver::ArchAggregate &a : report.archs)
+        t.addRow({a.id(), sim::Table::intNum(a.cycles),
+                  a.model == &ref
+                      ? "1.00"
+                      : sim::Table::num(
+                            report.speedupOf(ref.id(), a.id()))});
+    t.print(std::cout);
 
-    if (opts.stats) {
-        timing::RunOptions ropts;
-        ropts.imageSeed = cfg.seed;
-        const auto b = timing::simulateNetwork(
-            cfg.node, *net, timing::Arch::Baseline, ropts);
-        const auto c = timing::simulateNetwork(cfg.node, *net,
-                                               timing::Arch::Cnv, ropts);
-        driver::buildStats(b, power::Arch::Baseline)->dump(std::cout);
-        driver::buildStats(c, power::Arch::Cnv)->dump(std::cout);
-    }
+    if (opts.stats)
+        for (const driver::ArchTimeline &tl : timelines)
+            driver::buildStats(tl.result, *tl.model)->dump(std::cout);
 
-    writeReports(opts, cfg, *net, t0);
+    writeReports(opts, cfg, *net, archs, t0);
     return 0;
 }
 
@@ -260,28 +312,38 @@ cmdPower(nn::zoo::NetId id, const CliOptions &opts)
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
-    const auto report = driver::evaluateZooNetwork(cfg, id);
+    const auto archs = selectedArchs(opts);
+    const auto &ref = *archs.front();
+    const auto net = nn::zoo::build(id, cfg.seed);
+    const auto report = driver::evaluateNetworkArchs(cfg, *net, archs);
 
-    sim::Table t({"metric", "baseline", "CNV", "ratio"});
-    const auto pb = power::powerOf(power::Arch::Baseline,
-                                   report.baselineEnergy,
-                                   report.baselineCycles);
-    const auto pc = power::powerOf(power::Arch::Cnv, report.cnvEnergy,
-                                   report.cnvCycles);
-    const auto mb = power::metricsOf(power::Arch::Baseline,
-                                     report.baselineEnergy,
-                                     report.baselineCycles);
-    const auto mc = power::metricsOf(power::Arch::Cnv, report.cnvEnergy,
-                                     report.cnvCycles);
-    auto row = [&](const char *name, double b, double c) {
-        t.addRow({name, sim::Table::num(b, 4), sim::Table::num(c, 4),
-                  sim::Table::num(b / c, 3)});
+    std::vector<power::PowerBreakdown> pw;
+    std::vector<power::RunMetrics> mx;
+    for (const driver::ArchAggregate &a : report.archs) {
+        pw.push_back(a.model->power(a.energy, a.cycles));
+        mx.push_back(a.model->metrics(a.energy, a.cycles));
+    }
+
+    std::vector<std::string> header{"metric"};
+    for (const arch::ArchModel *model : archs)
+        header.push_back(model->id());
+    for (std::size_t a = 1; a < archs.size(); ++a)
+        header.push_back(ref.id() + "/" + archs[a]->id());
+    sim::Table t(header);
+    auto row = [&](const char *name, auto metric) {
+        std::vector<std::string> cells{name};
+        for (std::size_t a = 0; a < archs.size(); ++a)
+            cells.push_back(sim::Table::num(metric(a), 4));
+        for (std::size_t a = 1; a < archs.size(); ++a)
+            cells.push_back(sim::Table::num(metric(0) / metric(a), 3));
+        t.addRow(cells);
     };
-    row("average watts", pb.total(), pc.total());
-    row("seconds", mb.seconds, mc.seconds);
-    row("joules", mb.joules, mc.joules);
-    row("EDP (P x D)", mb.edp, mc.edp);
-    row("ED^2P (P x D^2)", mb.ed2p, mc.ed2p);
+    row("average watts",
+        [&](std::size_t a) { return pw[a].total(); });
+    row("seconds", [&](std::size_t a) { return mx[a].seconds; });
+    row("joules", [&](std::size_t a) { return mx[a].joules; });
+    row("EDP (P x D)", [&](std::size_t a) { return mx[a].edp; });
+    row("ED^2P (P x D^2)", [&](std::size_t a) { return mx[a].ed2p; });
     t.print(std::cout);
     return 0;
 }
@@ -378,27 +440,29 @@ cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
     cfg.seed = opts.seed;
     const auto net = nn::zoo::build(id, cfg.seed);
 
+    const auto archs = selectedArchs(opts);
     timing::RunOptions ropts;
     ropts.imageSeed = cfg.seed;
-    const auto base = timing::simulateNetwork(
-        cfg.node, *net, timing::Arch::Baseline, ropts);
-    const auto cnvRun =
-        timing::simulateNetwork(cfg.node, *net, timing::Arch::Cnv, ropts);
+    std::vector<driver::ArchTimeline> timelines;
+    for (const arch::ArchModel *model : archs)
+        timelines.push_back(
+            {model, model->simulateNetwork(cfg.node, *net, ropts)});
 
     sim::TraceSink sink(opts.maxEvents);
-    driver::appendNetworkTrace(sink, cnvRun, 1,
-                               sim::strfmt("cnv ({})", net->name()));
-    driver::appendNetworkTrace(
-        sink, base, 2, sim::strfmt("dadiannao ({})", net->name()));
+    int pid = 1;
+    for (const driver::ArchTimeline &tl : timelines)
+        driver::appendNetworkTrace(
+            sink, tl.result, pid++,
+            sim::strfmt("{} ({})", tl.model->id(), net->name()));
 
     // The attribution must account for every idle lane-cycle the
     // models reported — a gap means a producer forgot its reason.
-    for (const auto *run : {&cnvRun, &base}) {
-        const auto profile = driver::buildStallProfile(*run);
-        const auto micro = run->totalMicro();
+    for (const driver::ArchTimeline &tl : timelines) {
+        const auto profile = driver::buildStallProfile(tl.result);
+        const auto micro = tl.result.totalMicro();
         CNV_ASSERT(profile.totalIdle() == micro.laneIdleCycles,
                    "{} stall breakdown ({}) != idle lane-cycles ({})",
-                   run->architecture, profile.totalIdle(),
+                   tl.result.architecture, profile.totalIdle(),
                    micro.laneIdleCycles);
     }
 
@@ -424,33 +488,38 @@ cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
     if (!opts.stallCsv.empty()) {
         auto os = open(opts.stallCsv);
         bool header = true;
-        for (const auto *run : {&cnvRun, &base}) {
-            driver::buildStallProfile(*run).writeCsv(
-                os, run->architecture, header);
+        for (const driver::ArchTimeline &tl : timelines) {
+            driver::buildStallProfile(tl.result).writeCsv(
+                os, tl.result.architecture, header);
             header = false;
         }
         std::cout << "wrote stall breakdown to " << opts.stallCsv << '\n';
     }
 
-    // Per-reason summary, CNV vs baseline side by side.
-    const auto cnvProfile = driver::buildStallProfile(cnvRun);
-    const auto baseProfile = driver::buildStallProfile(base);
-    sim::Table t({"stall reason", "CNV lane-cycles",
-                  "baseline lane-cycles"});
+    // Per-reason summary, all selected architectures side by side.
+    std::vector<sim::StallProfile> profiles;
+    std::vector<std::string> header{"stall reason"};
+    for (const driver::ArchTimeline &tl : timelines) {
+        profiles.push_back(driver::buildStallProfile(tl.result));
+        header.push_back(tl.model->id() + " lane-cycles");
+    }
+    sim::Table t(header);
     for (int i = 0; i < sim::kStallReasonCount; ++i) {
         const auto r = static_cast<sim::StallReason>(i);
-        t.addRow({sim::stallReasonName(r),
-                  sim::Table::intNum(cnvProfile.total(r)),
-                  sim::Table::intNum(baseProfile.total(r))});
+        std::vector<std::string> row{sim::stallReasonName(r)};
+        for (const sim::StallProfile &p : profiles)
+            row.push_back(sim::Table::intNum(p.total(r)));
+        t.addRow(row);
     }
-    t.addRow({"total idle", sim::Table::intNum(cnvProfile.totalIdle()),
-              sim::Table::intNum(baseProfile.totalIdle())});
+    std::vector<std::string> totals{"total idle"};
+    for (const sim::StallProfile &p : profiles)
+        totals.push_back(sim::Table::intNum(p.totalIdle()));
+    t.addRow(totals);
     t.print(std::cout);
 
-    if (opts.stats) {
-        driver::buildStats(base, power::Arch::Baseline)->dump(std::cout);
-        driver::buildStats(cnvRun, power::Arch::Cnv)->dump(std::cout);
-    }
+    if (opts.stats)
+        for (const driver::ArchTimeline &tl : timelines)
+            driver::buildStats(tl.result, *tl.model)->dump(std::cout);
     return 0;
 }
 
@@ -472,11 +541,11 @@ cmdReproduce(const CliOptions &opts)
         const double zeroFrac =
             nn::zeroOperandFraction(*net, cfg.seed + 100);
         const auto r = driver::evaluateNetwork(cfg, *net);
-        const auto mb = power::metricsOf(power::Arch::Baseline,
-                                         r.baselineEnergy,
-                                         r.baselineCycles);
-        const auto mc = power::metricsOf(power::Arch::Cnv, r.cnvEnergy,
-                                         r.cnvCycles);
+        const driver::ArchAggregate &base = r.arch("dadiannao");
+        const driver::ArchAggregate &cnvAgg = r.arch("cnv");
+        const auto mb = base.model->metrics(base.energy, base.cycles);
+        const auto mc =
+            cnvAgg.model->metrics(cnvAgg.energy, cnvAgg.cycles);
         zf += zeroFrac;
         sp += r.speedup();
         edp += mb.edp / mc.edp;
@@ -491,10 +560,11 @@ cmdReproduce(const CliOptions &opts)
     t.addRow({"paper", "44.0%", "1.37", "1.47", "2.01"});
     t.print(std::cout);
 
-    const auto base = power::areaOf(power::Arch::Baseline);
-    const auto cnvA = power::areaOf(power::Arch::Cnv);
+    const auto &reg = arch::builtin();
+    const auto baseArea = reg.get("dadiannao").area();
+    const auto cnvArea = reg.get("cnv").area();
     std::cout << "\narea overhead: "
-              << sim::Table::pct(cnvA.total() / base.total() - 1.0)
+              << sim::Table::pct(cnvArea.total() / baseArea.total() - 1.0)
               << " (paper: 4.49%)\n";
     return 0;
 }
@@ -536,6 +606,8 @@ main(int argc, char **argv)
         const std::string &command = args[0];
         if (command == "list")
             return cmdList();
+        if (command == "archs")
+            return cmdArchs();
         if (command == "reproduce")
             return cmdReproduce(parseOptions(args, 1));
         if (command == "trace" && args.size() >= 2 &&

@@ -7,32 +7,64 @@
 
 namespace cnv::driver {
 
+const ArchAggregate *
+NetworkReport::findArch(std::string_view id) const
+{
+    for (const ArchAggregate &a : archs)
+        if (a.model != nullptr && a.model->id() == id)
+            return &a;
+    return nullptr;
+}
+
+const ArchAggregate &
+NetworkReport::arch(std::string_view id) const
+{
+    const ArchAggregate *a = findArch(id);
+    if (a == nullptr)
+        CNV_FATAL("report for '{}' has no architecture '{}'", name,
+                  std::string(id));
+    return *a;
+}
+
+double
+NetworkReport::speedupOf(std::string_view baseId,
+                         std::string_view overId) const
+{
+    return static_cast<double>(arch(baseId).cycles) /
+           static_cast<double>(arch(overId).cycles);
+}
+
+NetworkReport
+evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
+                     const std::vector<const arch::ArchModel *> &archs,
+                     const nn::PruneConfig *prune)
+{
+    CNV_ASSERT(!archs.empty(), "need at least one architecture");
+    NetworkReport report;
+    report.name = net.name();
+    report.images = cfg.images;
+    for (const arch::ArchModel *model : archs) {
+        ArchAggregate agg;
+        agg.model = model;
+        for (int i = 0; i < cfg.images; ++i) {
+            timing::RunOptions opts;
+            opts.imageSeed = cfg.seed + static_cast<std::uint64_t>(i);
+            opts.prune = prune;
+            const auto run = model->simulateNetwork(cfg.node, net, opts);
+            agg.cycles += run.totalCycles();
+            agg.activity += run.totalActivity();
+            agg.energy += run.totalEnergy();
+        }
+        report.archs.push_back(agg);
+    }
+    return report;
+}
+
 NetworkReport
 evaluateNetwork(const ExperimentConfig &cfg, const nn::Network &net,
                 const nn::PruneConfig *prune)
 {
-    NetworkReport report;
-    report.name = net.name();
-    report.images = cfg.images;
-
-    for (int i = 0; i < cfg.images; ++i) {
-        timing::RunOptions opts;
-        opts.imageSeed = cfg.seed + static_cast<std::uint64_t>(i);
-        opts.prune = prune;
-
-        const auto base = timing::simulateNetwork(
-            cfg.node, net, timing::Arch::Baseline, opts);
-        const auto cnvRun = timing::simulateNetwork(
-            cfg.node, net, timing::Arch::Cnv, opts);
-
-        report.baselineCycles += base.totalCycles();
-        report.cnvCycles += cnvRun.totalCycles();
-        report.baselineActivity += base.totalActivity();
-        report.cnvActivity += cnvRun.totalActivity();
-        report.baselineEnergy += base.totalEnergy();
-        report.cnvEnergy += cnvRun.totalEnergy();
-    }
-    return report;
+    return evaluateNetworkArchs(cfg, net, arch::canonicalPair(), prune);
 }
 
 NetworkReport

@@ -2,8 +2,9 @@
  * @file
  * Experiment driver: the orchestration layer shared by the bench
  * binaries and examples. Builds zoo networks, runs image batches on
- * both architecture models, and aggregates cycles / activity /
- * energy into per-network reports.
+ * any set of registered architecture models (arch/registry.h), and
+ * aggregates cycles / activity / energy into per-network,
+ * per-architecture reports.
  */
 
 #ifndef CNV_DRIVER_DRIVER_H
@@ -11,8 +12,10 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "arch/registry.h"
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
 #include "nn/network.h"
@@ -32,44 +35,75 @@ struct ExperimentConfig
     int accuracyScale = 8;
 };
 
-/** Aggregated dual-architecture results for one network. */
+/** One architecture's aggregate over a network's image batch. */
+struct ArchAggregate
+{
+    /** The model that produced these numbers (registry-owned). */
+    const arch::ArchModel *model = nullptr;
+    std::uint64_t cycles = 0; ///< summed over images
+    dadiannao::Activity activity;
+    dadiannao::EnergyCounters energy;
+
+    const std::string &id() const { return model->id(); }
+};
+
+/**
+ * Aggregated results for one network, keyed by architecture in
+ * selection order. The canonical comparison (the paper's headline
+ * speedup) is dadiannao over cnv; reports covering other selections
+ * use speedupOf() with explicit ids.
+ */
 struct NetworkReport
 {
     std::string name;
     int images = 0;
+    /** Per-architecture aggregates, in selection order. */
+    std::vector<ArchAggregate> archs;
 
-    std::uint64_t baselineCycles = 0; ///< summed over images
-    std::uint64_t cnvCycles = 0;
-    dadiannao::Activity baselineActivity;
-    dadiannao::Activity cnvActivity;
-    dadiannao::EnergyCounters baselineEnergy;
-    dadiannao::EnergyCounters cnvEnergy;
+    /** The aggregate for an architecture id, or nullptr. */
+    const ArchAggregate *findArch(std::string_view id) const;
 
+    /** The aggregate for an architecture id; fatal when absent. */
+    const ArchAggregate &arch(std::string_view id) const;
+
+    /** Cycle ratio of `baseId` over `overId` (execution-time gain). */
+    double speedupOf(std::string_view baseId, std::string_view overId) const;
+
+    /** The canonical dadiannao-over-cnv speedup. */
     double
     speedup() const
     {
-        return static_cast<double>(baselineCycles) /
-               static_cast<double>(cnvCycles);
+        return speedupOf("dadiannao", "cnv");
     }
 };
 
 /**
- * Run `cfg.images` traces of a network through both architecture
- * timing models (optionally with CNV dynamic pruning).
+ * Run `cfg.images` traces of a network through every selected
+ * architecture model (optionally with dynamic pruning; the models
+ * decide whether to honour it).
+ */
+NetworkReport evaluateNetworkArchs(
+    const ExperimentConfig &cfg, const nn::Network &net,
+    const std::vector<const arch::ArchModel *> &archs,
+    const nn::PruneConfig *prune = nullptr);
+
+/**
+ * Run a network through the canonical dadiannao + cnv pair (the
+ * two-architecture comparison every paper figure reports).
  */
 NetworkReport evaluateNetwork(const ExperimentConfig &cfg,
                               const nn::Network &net,
                               const nn::PruneConfig *prune = nullptr);
 
-/** Build + evaluate one zoo network. */
+/** Build + evaluate one zoo network on the canonical pair. */
 NetworkReport evaluateZooNetwork(const ExperimentConfig &cfg,
                                  nn::zoo::NetId id,
                                  const nn::PruneConfig *prune = nullptr);
 
-/** Geometric mean of the reports' speedups. */
+/** Geometric mean of the reports' canonical speedups. */
 double geomeanSpeedup(const std::vector<NetworkReport> &reports);
 
-/** Arithmetic mean of the reports' speedups (the paper averages so). */
+/** Arithmetic mean of the canonical speedups (the paper averages so). */
 double meanSpeedup(const std::vector<NetworkReport> &reports);
 
 } // namespace cnv::driver

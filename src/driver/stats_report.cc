@@ -75,8 +75,8 @@ fillMicro(sim::StatGroup &g, const dadiannao::MicroTrace &m)
 } // namespace
 
 std::unique_ptr<sim::StatGroup>
-buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
-           const power::PowerParams &params)
+buildStats(const dadiannao::NetworkResult &result,
+           const arch::ArchModel &model, const power::PowerParams &params)
 {
     auto root = std::make_unique<sim::StatGroup>(result.architecture);
 
@@ -105,11 +105,10 @@ buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
                      });
 
     const auto metrics =
-        power::metricsOf(arch, result.totalEnergy(), result.totalCycles(),
-                         params);
+        model.metrics(result.totalEnergy(), result.totalCycles(), params);
     auto &pw = root->addGroup("power");
-    const auto breakdown = power::powerOf(
-        arch, result.totalEnergy(), result.totalCycles(), params);
+    const auto breakdown =
+        model.power(result.totalEnergy(), result.totalCycles(), params);
     pw.addScalar("sbWatts", "SB power (static + dynamic)") =
         breakdown.sbStatic + breakdown.sbDynamic;
     pw.addScalar("nmWatts", "NM power (static + dynamic)") =
@@ -142,8 +141,10 @@ buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
 
 RunReport
 buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
+               const std::vector<const arch::ArchModel *> &archs,
                const nn::PruneConfig *prune)
 {
+    CNV_ASSERT(!archs.empty(), "need at least one architecture");
     RunReport report;
     report.manifest = makeManifest("cnvsim");
     report.manifest.network = net.name();
@@ -154,12 +155,18 @@ buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
     timing::RunOptions opts;
     opts.imageSeed = cfg.seed;
     opts.prune = prune;
-    report.baseline = timing::simulateNetwork(
-        cfg.node, net, timing::Arch::Baseline, opts);
-    report.cnv =
-        timing::simulateNetwork(cfg.node, net, timing::Arch::Cnv, opts);
-    report.aggregate = evaluateNetwork(cfg, net, prune);
+    for (const arch::ArchModel *model : archs)
+        report.timelines.push_back(
+            {model, model->simulateNetwork(cfg.node, net, opts)});
+    report.aggregate = evaluateNetworkArchs(cfg, net, archs, prune);
     return report;
+}
+
+RunReport
+buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
+               const nn::PruneConfig *prune)
+{
+    return buildRunReport(cfg, net, arch::canonicalPair(), prune);
 }
 
 void
@@ -172,20 +179,31 @@ writeReportJson(const RunReport &report, std::ostream &os)
     report.manifest.writeJson(w);
 
     w.key("architectures").beginObject();
-    const auto baseTree = buildStats(report.baseline,
-                                     power::Arch::Baseline);
-    w.key(baseTree->name());
-    sim::exportJson(*baseTree, w);
-    const auto cnvTree = buildStats(report.cnv, power::Arch::Cnv);
-    w.key(cnvTree->name());
-    sim::exportJson(*cnvTree, w);
+    for (const ArchTimeline &t : report.timelines) {
+        const auto tree = buildStats(t.result, *t.model);
+        w.key(tree->name());
+        sim::exportJson(*tree, w);
+    }
     w.endObject();
 
     w.key("summary").beginObject();
     w.key("images").value(report.aggregate.images);
-    w.key("baselineCycles").value(report.aggregate.baselineCycles);
-    w.key("cnvCycles").value(report.aggregate.cnvCycles);
-    w.key("speedup").value(report.aggregate.speedup());
+    w.key("archs").beginObject();
+    for (const ArchAggregate &a : report.aggregate.archs) {
+        w.key(a.id()).beginObject();
+        w.key("cycles").value(a.cycles);
+        w.endObject();
+    }
+    w.endObject();
+    // Legacy two-architecture trio: kept whenever the canonical pair
+    // is part of the selection so existing consumers keep parsing.
+    const ArchAggregate *base = report.aggregate.findArch("dadiannao");
+    const ArchAggregate *cnvAgg = report.aggregate.findArch("cnv");
+    if (base != nullptr && cnvAgg != nullptr) {
+        w.key("baselineCycles").value(base->cycles);
+        w.key("cnvCycles").value(cnvAgg->cycles);
+        w.key("speedup").value(report.aggregate.speedup());
+    }
     w.endObject();
 
     w.endObject();
@@ -213,21 +231,27 @@ writeReportCsv(const RunReport &report, std::ostream &os)
     manifestRow("wallSeconds", sim::strfmt("{}", m.wallSeconds),
                 "wall-clock duration of the run");
 
-    sim::exportCsv(*buildStats(report.baseline, power::Arch::Baseline),
-                   os, "", /*header=*/false);
-    sim::exportCsv(*buildStats(report.cnv, power::Arch::Cnv), os, "",
-                   /*header=*/false);
+    for (const ArchTimeline &t : report.timelines)
+        sim::exportCsv(*buildStats(t.result, *t.model), os, "",
+                       /*header=*/false);
 
     os << "summary.images,summary," << report.aggregate.images
        << ",images aggregated\n";
-    os << "summary.baselineCycles,summary,"
-       << report.aggregate.baselineCycles
-       << ",baseline cycles summed over images\n";
-    os << "summary.cnvCycles,summary," << report.aggregate.cnvCycles
-       << ",CNV cycles summed over images\n";
-    os << "summary.speedup,summary,"
-       << sim::strfmt("{}", report.aggregate.speedup())
-       << ",baseline/CNV cycle ratio\n";
+    for (const ArchAggregate &a : report.aggregate.archs)
+        os << "summary.archs." << a.id() << ".cycles,summary," << a.cycles
+           << ',' << sim::csvQuote(a.id() + " cycles summed over images")
+           << '\n';
+    const ArchAggregate *base = report.aggregate.findArch("dadiannao");
+    const ArchAggregate *cnvAgg = report.aggregate.findArch("cnv");
+    if (base != nullptr && cnvAgg != nullptr) {
+        os << "summary.baselineCycles,summary," << base->cycles
+           << ",baseline cycles summed over images\n";
+        os << "summary.cnvCycles,summary," << cnvAgg->cycles
+           << ",CNV cycles summed over images\n";
+        os << "summary.speedup,summary,"
+           << sim::strfmt("{}", report.aggregate.speedup())
+           << ",baseline/CNV cycle ratio\n";
+    }
 }
 
 } // namespace cnv::driver

@@ -3,8 +3,8 @@
  * Bridges simulation results into the sim::StatGroup framework so
  * embedding applications (and the cnvsim CLI) can dump or query
  * every measured quantity by name, gem5-style — and serializes the
- * whole run (manifest + both architectures + summary) as the JSON /
- * CSV report documented in docs/observability.md.
+ * whole run (manifest + every selected architecture + summary) as
+ * the JSON / CSV report documented in docs/observability.md.
  */
 
 #ifndef CNV_DRIVER_STATS_REPORT_H
@@ -12,7 +12,9 @@
 
 #include <memory>
 #include <ostream>
+#include <vector>
 
+#include "arch/registry.h"
 #include "dadiannao/metrics.h"
 #include "driver/driver.h"
 #include "driver/run_manifest.h"
@@ -29,35 +31,52 @@ namespace cnv::driver {
  *   <arch>.micro.{laneBusyCycles,...,stalls.{brick_buffer_empty,...}},
  *   <arch>.layers.L<N>_<name>.{cycles,startCycle,activity,energy,micro}
  *
- * plus derived formulas (utilisation, zero share, joules, EDP).
- * The layers subtree is the run's timeline: startCycle is each
- * layer's first cycle on the serialized schedule.
+ * plus derived formulas (utilisation, zero share, joules, EDP). The
+ * power subtree uses the model's calibrated parameter set. The
+ * layers subtree is the run's timeline: startCycle is each layer's
+ * first cycle on the serialized schedule.
  */
 std::unique_ptr<sim::StatGroup>
-buildStats(const dadiannao::NetworkResult &result, power::Arch arch,
+buildStats(const dadiannao::NetworkResult &result,
+           const arch::ArchModel &model,
            const power::PowerParams &params = {});
+
+/** One architecture's single-image timeline within a RunReport. */
+struct ArchTimeline
+{
+    /** The model that produced the timeline (registry-owned). */
+    const arch::ArchModel *model = nullptr;
+    /** Single-image (seed = manifest.seed) per-layer timeline. */
+    dadiannao::NetworkResult result;
+};
 
 /**
  * One experiment's complete machine-readable record: provenance,
- * the per-layer timelines of both architectures (measured on the
- * manifest's root seed), and the multi-image aggregate summary.
+ * the per-layer timelines of every selected architecture (measured
+ * on the manifest's root seed), and the multi-image aggregate
+ * summary — all keyed by architecture id in selection order.
  */
 struct RunReport
 {
     RunManifest manifest;
-    /** Single-image (seed = manifest.seed) baseline timeline. */
-    dadiannao::NetworkResult baseline;
-    /** Single-image (seed = manifest.seed) CNV timeline. */
-    dadiannao::NetworkResult cnv;
-    /** Aggregate over manifest.images images. */
+    /** Per-architecture single-image timelines, in selection order. */
+    std::vector<ArchTimeline> timelines;
+    /** Aggregate over manifest.images images, same selection. */
     NetworkReport aggregate;
 };
 
 /**
- * Evaluate `net` on both architectures and assemble a RunReport.
- * The caller fills manifest.tool and manifest.wallSeconds (the
- * build provenance fields are filled here via makeManifest()).
+ * Evaluate `net` on the selected architectures and assemble a
+ * RunReport. The caller fills manifest.tool and
+ * manifest.wallSeconds (the build provenance fields are filled here
+ * via makeManifest()).
  */
+RunReport buildRunReport(const ExperimentConfig &cfg,
+                         const nn::Network &net,
+                         const std::vector<const arch::ArchModel *> &archs,
+                         const nn::PruneConfig *prune = nullptr);
+
+/** Same, over the canonical dadiannao + cnv pair. */
 RunReport buildRunReport(const ExperimentConfig &cfg,
                          const nn::Network &net,
                          const nn::PruneConfig *prune = nullptr);
@@ -67,19 +86,25 @@ RunReport buildRunReport(const ExperimentConfig &cfg,
  *
  *   { "schema": "cnv-report-v1",
  *     "manifest": { ... RunManifest ... },
- *     "architectures": { "dadiannao": <stat tree>,
- *                        "cnv": <stat tree> },
- *     "summary": { "images", "baselineCycles", "cnvCycles",
- *                  "speedup" } }
+ *     "architectures": { "<arch id>": <stat tree>, ... },
+ *     "summary": { "images",
+ *                  "archs": { "<arch id>": { "cycles" }, ... },
+ *                  "baselineCycles", "cnvCycles", "speedup" } }
  *
- * where each stat tree follows the sim::exportJson() layout.
+ * where each stat tree follows the sim::exportJson() layout. The
+ * architectures object holds one section per selected architecture
+ * in selection order; the legacy baselineCycles/cnvCycles/speedup
+ * summary trio is emitted whenever the canonical dadiannao and cnv
+ * entries are both part of the selection, so two-architecture
+ * consumers keep parsing unchanged.
  */
 void writeReportJson(const RunReport &report, std::ostream &os);
 
 /**
  * Write a report as CSV: `path,kind,value,description` rows —
  * manifest fields first (kind "manifest"), then every statistic of
- * both architecture trees, then the summary (kind "summary").
+ * each architecture tree (paths rooted at the architecture id),
+ * then the summary (kind "summary").
  */
 void writeReportCsv(const RunReport &report, std::ostream &os);
 

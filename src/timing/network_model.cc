@@ -124,6 +124,43 @@ fcCnvTiming(const dadiannao::NodeConfig &cfg, const nn::Node &node,
 
 } // namespace
 
+LayerResult
+convLayerTiming(const NodeConfig &cfg, Arch arch, const nn::Node &node,
+                const CountMap &counts)
+{
+    LayerResult conv;
+    if (arch == Arch::Baseline || node.convIndex == 0) {
+        conv = convBaseline(cfg, node.conv, node.inShape, counts,
+                            node.convIndex == 0);
+    } else if (cfg.layerModePolicy ==
+               dadiannao::LayerModePolicy::Profitable) {
+        // Software sets the per-layer encoded/conventional flag;
+        // with the profitable policy it picks the cheaper of the
+        // two (estimable from the encoder's non-zero counts of the
+        // previous layer).
+        LayerResult encoded = convCnv(cfg, node.conv, node.inShape, counts);
+        LayerResult conventional =
+            convBaseline(cfg, node.conv, node.inShape, counts, false);
+        conv = encoded.cycles <= conventional.cycles
+            ? std::move(encoded) : std::move(conventional);
+    } else {
+        conv = convCnv(cfg, node.conv, node.inShape, counts);
+    }
+    conv.name = node.name;
+    return conv;
+}
+
+LayerResult
+fcLayerTiming(const NodeConfig &cfg, Arch arch, const nn::Network &net,
+              int nodeId, OverlapTracker &overlap)
+{
+    const nn::Node &n = net.node(nodeId);
+    if (arch == Arch::Cnv && cfg.cnvSkipsFcLayers)
+        return fcCnvTiming(cfg, n, fcInputZeroFraction(net, nodeId),
+                           overlap);
+    return dadiannao::otherLayerTiming(cfg, n, overlap);
+}
+
 NetworkResult
 simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
                 const RunOptions &opts)
@@ -177,37 +214,15 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             const CountMap counts =
                 zfnaf::nonZeroCountMap(in, cfg.brickSize);
 
-            LayerResult conv;
-            if (arch == Arch::Baseline || n.convIndex == 0) {
-                conv = convBaseline(cfg, n.conv, n.inShape, counts,
-                                    n.convIndex == 0);
-            } else if (cfg.layerModePolicy ==
-                       dadiannao::LayerModePolicy::Profitable) {
-                // Software sets the per-layer encoded/conventional
-                // flag; with the profitable policy it picks the
-                // cheaper of the two (estimable from the encoder's
-                // non-zero counts of the previous layer).
-                LayerResult encoded =
-                    convCnv(cfg, n.conv, n.inShape, counts);
-                LayerResult conventional =
-                    convBaseline(cfg, n.conv, n.inShape, counts, false);
-                conv = encoded.cycles <= conventional.cycles
-                    ? std::move(encoded) : std::move(conventional);
-            } else {
-                conv = convCnv(cfg, n.conv, n.inShape, counts);
-            }
-            conv.name = n.name;
+            LayerResult conv = convLayerTiming(cfg, arch, n, counts);
             overlap.deposit(conv.cycles);
             result.layers.push_back(conv);
             break;
           }
           case nn::NodeKind::Fc:
-            if (arch == Arch::Cnv && cfg.cnvSkipsFcLayers) {
-                result.layers.push_back(fcCnvTiming(
-                    cfg, n, fcInputZeroFraction(net, id), overlap));
-                break;
-            }
-            [[fallthrough]];
+            result.layers.push_back(
+                fcLayerTiming(cfg, arch, net, id, overlap));
+            break;
           default:
             result.layers.push_back(
                 dadiannao::otherLayerTiming(cfg, n, overlap));

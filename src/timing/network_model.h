@@ -16,7 +16,9 @@
 
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
+#include "dadiannao/other_layers.h"
 #include "nn/network.h"
+#include "timing/conv_model.h"
 
 namespace cnv::timing {
 
@@ -85,6 +87,30 @@ struct RunOptions
     /** Optional external activation traces. */
     const TraceProvider *traces = nullptr;
 };
+
+/**
+ * Conv layer timing on one architecture: applies the per-layer
+ * encoded/conventional selection (conv1 always conventional, the
+ * LayerModePolicy otherwise) and dispatches to the closed-form
+ * convBaseline/convCnv models. The returned LayerResult carries the
+ * node's name.
+ *
+ * @param counts Per-brick non-zero counts of the layer's input.
+ */
+dadiannao::LayerResult convLayerTiming(const dadiannao::NodeConfig &cfg,
+                                       Arch arch, const nn::Node &node,
+                                       const CountMap &counts);
+
+/**
+ * Fully-connected layer timing on one architecture: the shared
+ * throughput model, or the CNV zero-skipping extension when
+ * cfg.cnvSkipsFcLayers is set (the input zero fraction is derived
+ * from the nearest upstream conv's calibrated target).
+ */
+dadiannao::LayerResult fcLayerTiming(const dadiannao::NodeConfig &cfg,
+                                     Arch arch, const nn::Network &net,
+                                     int nodeId,
+                                     dadiannao::OverlapTracker &overlap);
 
 /**
  * Simulate one image through the network on the given architecture.

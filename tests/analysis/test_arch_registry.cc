@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the architecture registry: lookup semantics, stable
+ * iteration order, selection parsing, and the golden guarantee that
+ * the built-in dadiannao/cnv models reproduce the direct timing and
+ * power entry points bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/registry.h"
+#include "nn/zoo/zoo.h"
+#include "sim/error.h"
+#include "timing/network_model.h"
+
+namespace {
+
+using namespace cnv;
+
+TEST(ArchRegistry, BuiltinLookup)
+{
+    const arch::ArchRegistry &reg = arch::builtin();
+    const arch::ArchModel *base = reg.find("dadiannao");
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(base->id(), "dadiannao");
+    EXPECT_EQ(base->displayName(), "DaDianNao baseline");
+    EXPECT_EQ(reg.find("not-an-arch"), nullptr);
+    EXPECT_EQ(&reg.get("cnv"), reg.find("cnv"));
+}
+
+TEST(ArchRegistry, UnknownArchIsFatalAndListsKnownIds)
+{
+    try {
+        arch::builtin().get("tpu");
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("tpu"), std::string::npos);
+        EXPECT_NE(msg.find("dadiannao"), std::string::npos);
+        EXPECT_NE(msg.find("cnv"), std::string::npos);
+    }
+}
+
+TEST(ArchRegistry, StableIterationOrder)
+{
+    const std::vector<std::string> expected{
+        "dadiannao", "cnv", "cnv-pruned", "cnv-b4", "cnv-b8", "cnv-b32"};
+    EXPECT_EQ(arch::builtin().ids(), expected);
+}
+
+TEST(ArchRegistry, SelectParsesCsvInOrder)
+{
+    const auto sel = arch::builtin().select("cnv, dadiannao");
+    ASSERT_EQ(sel.size(), 2u);
+    EXPECT_EQ(sel[0]->id(), "cnv");
+    EXPECT_EQ(sel[1]->id(), "dadiannao");
+    EXPECT_THROW(arch::builtin().select("cnv,cnv"), sim::FatalError);
+    EXPECT_THROW(arch::builtin().select("cnv,,dadiannao"),
+                 sim::FatalError);
+    EXPECT_THROW(arch::builtin().select("eyeriss"), sim::FatalError);
+}
+
+TEST(ArchRegistry, DuplicateAddIsFatal)
+{
+    arch::ArchRegistry reg;
+    reg.add(arch::makeCnvVariant("cnv-b2", "two-neuron bricks", 2));
+    EXPECT_THROW(
+        reg.add(arch::makeCnvVariant("cnv-b2", "again", 2)),
+        sim::FatalError);
+}
+
+TEST(ArchRegistry, CanonicalPairIsDadiannaoThenCnv)
+{
+    const auto pair = arch::canonicalPair();
+    ASSERT_EQ(pair.size(), 2u);
+    EXPECT_EQ(pair[0]->id(), "dadiannao");
+    EXPECT_EQ(pair[1]->id(), "cnv");
+}
+
+/** The registry models must reproduce the direct timing entry point
+ *  bit for bit — cycles, activity, energy, and per-layer timeline. */
+TEST(ArchRegistry, GoldenBitIdenticalToDirectTiming)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    const dadiannao::NodeConfig cfg;
+    timing::RunOptions opts;
+    opts.imageSeed = 2016;
+
+    const struct
+    {
+        const char *id;
+        timing::Arch arch;
+    } cases[] = {{"dadiannao", timing::Arch::Baseline},
+                 {"cnv", timing::Arch::Cnv}};
+    for (const auto &c : cases) {
+        const auto direct =
+            timing::simulateNetwork(cfg, *net, c.arch, opts);
+        const auto viaModel =
+            arch::builtin().get(c.id).simulateNetwork(cfg, *net, opts);
+
+        EXPECT_EQ(viaModel.architecture, c.id);
+        EXPECT_EQ(viaModel.totalCycles(), direct.totalCycles()) << c.id;
+
+        const auto da = direct.totalActivity();
+        const auto ma = viaModel.totalActivity();
+        EXPECT_EQ(ma.other, da.other) << c.id;
+        EXPECT_EQ(ma.conv1, da.conv1) << c.id;
+        EXPECT_EQ(ma.zero, da.zero) << c.id;
+        EXPECT_EQ(ma.nonZero, da.nonZero) << c.id;
+        EXPECT_EQ(ma.stall, da.stall) << c.id;
+
+        const auto de = direct.totalEnergy();
+        const auto me = viaModel.totalEnergy();
+        EXPECT_EQ(me.sbReads, de.sbReads) << c.id;
+        EXPECT_EQ(me.nmReads, de.nmReads) << c.id;
+        EXPECT_EQ(me.nmWrites, de.nmWrites) << c.id;
+        EXPECT_EQ(me.multOps, de.multOps) << c.id;
+        EXPECT_EQ(me.encoderOps, de.encoderOps) << c.id;
+
+        ASSERT_EQ(viaModel.layers.size(), direct.layers.size());
+        for (std::size_t i = 0; i < direct.layers.size(); ++i)
+            EXPECT_EQ(viaModel.layers[i].cycles, direct.layers[i].cycles)
+                << c.id << " layer " << i;
+    }
+}
+
+/** Power, metrics and area through the model match the direct
+ *  power-model entry points for the canonical pair. */
+TEST(ArchRegistry, PowerParityWithDirectModel)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    const dadiannao::NodeConfig cfg;
+    timing::RunOptions opts;
+    opts.imageSeed = 2016;
+
+    const struct
+    {
+        const char *id;
+        power::Arch arch;
+    } cases[] = {{"dadiannao", power::Arch::Baseline},
+                 {"cnv", power::Arch::Cnv}};
+    for (const auto &c : cases) {
+        const arch::ArchModel &model = arch::builtin().get(c.id);
+        const auto run = model.simulateNetwork(cfg, *net, opts);
+        const auto e = run.totalEnergy();
+        const auto cycles = run.totalCycles();
+        EXPECT_DOUBLE_EQ(model.power(e, cycles).total(),
+                         power::powerOf(c.arch, e, cycles).total());
+        EXPECT_DOUBLE_EQ(model.metrics(e, cycles).edp,
+                         power::metricsOf(c.arch, e, cycles).edp);
+        EXPECT_DOUBLE_EQ(model.area().total(),
+                         power::areaOf(c.arch).total());
+    }
+}
+
+TEST(ArchRegistry, BrickVariantChangesGeometryAndTiming)
+{
+    const arch::ArchModel &b8 = arch::builtin().get("cnv-b8");
+    const dadiannao::NodeConfig cfg = b8.nodeConfig({});
+    EXPECT_EQ(cfg.brickSize, 8);
+    EXPECT_EQ(cfg.lanes, 8);
+    EXPECT_EQ(cfg.nmBanks, 8);
+
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    timing::RunOptions opts;
+    opts.imageSeed = 2016;
+    const auto cnvRun =
+        arch::builtin().get("cnv").simulateNetwork({}, *net, opts);
+    const auto b8Run = b8.simulateNetwork({}, *net, opts);
+    EXPECT_NE(b8Run.totalCycles(), cnvRun.totalCycles());
+}
+
+TEST(ArchRegistry, ValidateNodeEnforcesSharedInvariants)
+{
+    dadiannao::NodeConfig cfg;
+    cfg.lanes = cfg.brickSize * 2;
+    // One neuron lane drains one brick slot on every variant.
+    EXPECT_THROW(arch::builtin().get("cnv").validateNode(cfg),
+                 sim::FatalError);
+    EXPECT_THROW(arch::builtin().get("dadiannao").validateNode(cfg),
+                 sim::FatalError);
+    // A brick variant's own geometry is self-consistent, so the
+    // validator accepts what nodeConfig() produced.
+    const arch::ArchModel &b8 = arch::builtin().get("cnv-b8");
+    EXPECT_NO_THROW(b8.validateNode(b8.nodeConfig({})));
+}
+
+TEST(ArchRegistry, CnvPrunedDefaultsToUniformThresholds)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    timing::RunOptions opts;
+    opts.imageSeed = 2016;
+    const arch::ArchModel &cnv = arch::builtin().get("cnv");
+    const arch::ArchModel &pruned = arch::builtin().get("cnv-pruned");
+
+    // Without an explicit config, cnv-pruned applies its default
+    // uniform thresholds and skips more than plain cnv.
+    const auto plain = cnv.simulateNetwork({}, *net, opts);
+    const auto defaulted = pruned.simulateNetwork({}, *net, opts);
+    EXPECT_LT(defaulted.totalCycles(), plain.totalCycles());
+
+    // With an explicit config, both models honour it identically.
+    nn::PruneConfig explicitCfg;
+    explicitCfg.thresholds.assign(net->convLayerCount(), 32);
+    opts.prune = &explicitCfg;
+    EXPECT_EQ(pruned.simulateNetwork({}, *net, opts).totalCycles(),
+              cnv.simulateNetwork({}, *net, opts).totalCycles());
+}
+
+} // namespace

@@ -68,21 +68,29 @@ TEST(Driver, EvaluateAggregatesImages)
     const auto report = driver::evaluateNetwork(cfg, *net);
     EXPECT_EQ(report.images, 2);
     EXPECT_GT(report.speedup(), 1.0);
-    EXPECT_GT(report.baselineCycles, report.cnvCycles);
+    const auto &base = report.arch("dadiannao");
+    const auto &cnvAgg = report.arch("cnv");
+    EXPECT_GT(base.cycles, cnvAgg.cycles);
     // Baseline has no stall events; CNV has no zero events.
-    EXPECT_EQ(report.baselineActivity.stall, 0u);
-    EXPECT_EQ(report.cnvActivity.zero, 0u);
-    EXPECT_GT(report.cnvActivity.stall, 0u);
+    EXPECT_EQ(base.activity.stall, 0u);
+    EXPECT_EQ(cnvAgg.activity.zero, 0u);
+    EXPECT_GT(cnvAgg.activity.stall, 0u);
+    EXPECT_EQ(report.findArch("cnv-b8"), nullptr);
 }
 
 TEST(Driver, SpeedupAverages)
 {
-    driver::NetworkReport a, b;
-    a.baselineCycles = 150;
-    a.cnvCycles = 100;
-    b.baselineCycles = 120;
-    b.cnvCycles = 100;
-    const std::vector<driver::NetworkReport> reports{a, b};
+    auto synthetic = [](std::uint64_t baseCycles,
+                        std::uint64_t cnvCycles) {
+        driver::NetworkReport r;
+        r.archs.push_back(
+            {&arch::builtin().get("dadiannao"), baseCycles, {}, {}});
+        r.archs.push_back(
+            {&arch::builtin().get("cnv"), cnvCycles, {}, {}});
+        return r;
+    };
+    const std::vector<driver::NetworkReport> reports{
+        synthetic(150, 100), synthetic(120, 100)};
     EXPECT_NEAR(driver::meanSpeedup(reports), 1.35, 1e-12);
     EXPECT_NEAR(driver::geomeanSpeedup(reports), std::sqrt(1.5 * 1.2),
                 1e-12);

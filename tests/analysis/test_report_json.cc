@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 
+#include "arch/registry.h"
 #include "driver/stats_report.h"
 #include "nn/network.h"
 #include "support/json_parser.h"
@@ -74,6 +75,39 @@ TEST(ReportJson, DocumentParsesWithManifestAndSummary)
     EXPECT_GT(summary.at("baselineCycles").number, 0.0);
     EXPECT_GT(summary.at("cnvCycles").number, 0.0);
     EXPECT_GT(summary.at("speedup").number, 0.0);
+
+    // The per-arch keyed summary carries the same numbers.
+    const Json &archs = summary.at("archs");
+    EXPECT_EQ(archs.at("dadiannao").at("cycles").number,
+              summary.at("baselineCycles").number);
+    EXPECT_EQ(archs.at("cnv").at("cycles").number,
+              summary.at("cnvCycles").number);
+}
+
+TEST(ReportJson, MultiArchSelectionKeysEverySection)
+{
+    driver::ExperimentConfig cfg;
+    cfg.images = 1;
+    cfg.seed = 7;
+    nn::Network net = makeNetwork();
+    const auto sel = arch::builtin().select("cnv,cnv-b8");
+    driver::RunReport report = driver::buildRunReport(cfg, net, sel);
+
+    std::ostringstream os;
+    driver::writeReportJson(report, os);
+    Json doc = Parser(os.str()).parse();
+
+    const Json &archs = doc.at("architectures");
+    ASSERT_TRUE(archs.has("cnv"));
+    ASSERT_TRUE(archs.has("cnv-b8"));
+    EXPECT_FALSE(archs.has("dadiannao"));
+
+    const Json &summary = doc.at("summary");
+    EXPECT_GT(summary.at("archs").at("cnv").at("cycles").number, 0.0);
+    EXPECT_GT(summary.at("archs").at("cnv-b8").at("cycles").number, 0.0);
+    // Without the canonical pair there is no legacy trio.
+    EXPECT_FALSE(summary.has("baselineCycles"));
+    EXPECT_FALSE(summary.has("speedup"));
 }
 
 TEST(ReportJson, BothArchitecturesCarryPerLayerTimelines)

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "arch/registry.h"
 #include "driver/stats_report.h"
 #include "nn/zoo/zoo.h"
 #include "timing/network_model.h"
@@ -13,18 +14,24 @@ namespace {
 using namespace cnv;
 
 dadiannao::NetworkResult
-sampleRun(timing::Arch arch)
+sampleRun(const arch::ArchModel &model)
 {
     const auto net = nn::zoo::build(nn::zoo::NetId::Alex, 3);
     dadiannao::NodeConfig cfg;
     timing::RunOptions opts;
-    return timing::simulateNetwork(cfg, *net, arch, opts);
+    return model.simulateNetwork(cfg, *net, opts);
+}
+
+const arch::ArchModel &
+cnvModel()
+{
+    return arch::builtin().get("cnv");
 }
 
 TEST(StatsReport, TreeHoldsRunTotals)
 {
-    const auto run = sampleRun(timing::Arch::Cnv);
-    const auto stats = driver::buildStats(run, power::Arch::Cnv);
+    const auto run = sampleRun(cnvModel());
+    const auto stats = driver::buildStats(run, cnvModel());
 
     EXPECT_DOUBLE_EQ(stats->get("cycles"),
                      static_cast<double>(run.totalCycles()));
@@ -36,8 +43,9 @@ TEST(StatsReport, TreeHoldsRunTotals)
 
 TEST(StatsReport, DerivedFormulasAreConsistent)
 {
-    const auto run = sampleRun(timing::Arch::Baseline);
-    const auto stats = driver::buildStats(run, power::Arch::Baseline);
+    const auto &model = arch::builtin().get("dadiannao");
+    const auto run = sampleRun(model);
+    const auto stats = driver::buildStats(run, model);
 
     const auto activity = run.totalActivity();
     EXPECT_NEAR(stats->get("zeroShare"),
@@ -50,20 +58,20 @@ TEST(StatsReport, DerivedFormulasAreConsistent)
 
 TEST(StatsReport, PowerScalarsMatchModel)
 {
-    const auto run = sampleRun(timing::Arch::Cnv);
-    const auto stats = driver::buildStats(run, power::Arch::Cnv);
-    const auto pb = power::powerOf(power::Arch::Cnv, run.totalEnergy(),
-                                   run.totalCycles());
+    const auto run = sampleRun(cnvModel());
+    const auto stats = driver::buildStats(run, cnvModel());
+    const auto pb =
+        cnvModel().power(run.totalEnergy(), run.totalCycles());
     EXPECT_NEAR(stats->get("power.totalWatts"), pb.total(), 1e-9);
-    const auto m = power::metricsOf(power::Arch::Cnv, run.totalEnergy(),
-                                    run.totalCycles());
+    const auto m =
+        cnvModel().metrics(run.totalEnergy(), run.totalCycles());
     EXPECT_NEAR(stats->get("power.edp"), m.edp, 1e-15);
 }
 
 TEST(StatsReport, PerLayerGroupsExist)
 {
-    const auto run = sampleRun(timing::Arch::Cnv);
-    const auto stats = driver::buildStats(run, power::Arch::Cnv);
+    const auto run = sampleRun(cnvModel());
+    const auto stats = driver::buildStats(run, cnvModel());
     // First layer entry is addressable and sums match.
     double layerCycles = 0.0;
     stats->visit([&](const std::string &name, const sim::Stat &s) {
@@ -77,8 +85,8 @@ TEST(StatsReport, PerLayerGroupsExist)
 
 TEST(StatsReport, DumpIsReadable)
 {
-    const auto run = sampleRun(timing::Arch::Cnv);
-    const auto stats = driver::buildStats(run, power::Arch::Cnv);
+    const auto run = sampleRun(cnvModel());
+    const auto stats = driver::buildStats(run, cnvModel());
     std::ostringstream os;
     stats->dump(os);
     const std::string out = os.str();

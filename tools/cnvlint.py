@@ -2,7 +2,7 @@
 """cnvlint — Cnvlutin-specific invariants no generic linter can know.
 
 Run as a CTest check (see tests/CMakeLists.txt) from the repository
-root, or pass the root as the first argument. Five rules over
+root, or pass the root as the first argument. Six rules over
 ``src/**``:
 
   magic-16      The brick/lane/unit/filter/bank geometry of the paper
@@ -31,6 +31,12 @@ root, or pass the root as the first argument. Five rules over
                 and src/sim/trace_event.cc) must be documented in
                 docs/observability.md, so the wire schema and its
                 documentation cannot drift apart.
+  arch-dispatch Architecture variants are selected through the
+                ``arch::ArchModel`` registry (src/arch/), never by
+                dispatching on the ``timing::Arch`` / ``power::Arch``
+                enums directly. The enums may appear only inside
+                ``src/timing/``, ``src/power/`` (their definitions)
+                and ``src/arch/`` (the registry bridge wrapping them).
 
 Suppressions: append ``// cnvlint: allow(<rule>)`` (with an optional
 — justification) to the offending line or the line directly above
@@ -62,7 +68,12 @@ ERROR_STYLE_ALLOWLIST = {
 SCHEMA_SOURCES = ("src/sim/stats_export.cc", "src/sim/trace_event.cc")
 SCHEMA_DOC = "docs/observability.md"
 
+# Directories where the timing/power Arch enums are legitimately
+# visible: their defining modules plus the registry that wraps them.
+ARCH_DISPATCH_DIR_ALLOWLIST = ("src/timing/", "src/power/", "src/arch/")
+
 SUPPRESS = re.compile(r"cnvlint:\s*allow\(([a-z0-9-]+)\)")
+ARCH_ENUM = re.compile(r"\b(?:timing|power)::Arch\b")
 BARE_16 = re.compile(r"(?<![\w.])16(?![\w.])")
 ERROR_CALLS = re.compile(r"(?<![\w:.])(assert|abort|exit)\s*\(")
 BANNED_CASTS = re.compile(r"\b(reinterpret_cast|const_cast)\b")
@@ -179,6 +190,24 @@ class Linter:
                 "tensor/bytes.h (or justify with a suppression)",
             )
 
+    def check_arch_dispatch(self, path: Path, lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        if rel.startswith(ARCH_DISPATCH_DIR_ALLOWLIST):
+            return
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            m = ARCH_ENUM.search(code)
+            if not m:
+                continue
+            if self.suppressed(lines, idx, "arch-dispatch"):
+                continue
+            self.report(
+                path, idx + 1, "arch-dispatch",
+                f"{m.group(0)} outside src/timing, src/power and "
+                "src/arch — select architectures through the "
+                "arch::ArchModel registry (arch/registry.h)",
+            )
+
     def check_schema_docs(self) -> None:
         doc_path = self.root / SCHEMA_DOC
         if not doc_path.is_file():
@@ -218,6 +247,7 @@ class Linter:
             self.check_magic16(path, lines)
             self.check_error_style(path, lines)
             self.check_cast_ban(path, lines)
+            self.check_arch_dispatch(path, lines)
             if path.suffix == ".h":
                 self.check_include_guard(path, raw)
         self.check_schema_docs()

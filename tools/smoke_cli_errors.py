@@ -11,10 +11,17 @@ Cases:
   * unknown network        -> exit 1, "fatal:" + the bad name on stderr
   * unknown flag           -> exit 2, usage text on stderr
   * malformed flag value   -> exit 1, diagnostic on stderr
+  * unknown --arch id      -> exit 1, "fatal:" + known ids on stderr
   * missing --net (trace)  -> exit 2, usage text on stderr
   * unwritable report path -> exit 1, "fatal:" + the path on stderr
 
-Usage: smoke_cli_errors.py CNVSIM
+With ``--bench BENCH`` a bench binary's shared argument parser
+(bench/common.h) is smoked too:
+  * non-numeric --images   -> exit 2, diagnostic on stderr
+  * non-numeric --seed     -> exit 2, diagnostic on stderr
+  * trailing junk (--images 2x) -> exit 2, diagnostic on stderr
+
+Usage: smoke_cli_errors.py CNVSIM [--bench BENCH]
 """
 
 from __future__ import annotations
@@ -23,15 +30,24 @@ import subprocess
 import sys
 
 
-def run(cnvsim: str, *args: str) -> subprocess.CompletedProcess:
-    return subprocess.run([cnvsim, *args], capture_output=True, text=True)
+def run(binary: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([binary, *args], capture_output=True, text=True)
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    args = argv[1:]
+    bench = None
+    if "--bench" in args:
+        at = args.index("--bench")
+        if at + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        bench = args[at + 1]
+        args = args[:at] + args[at + 2:]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    cnvsim = argv[1]
+    cnvsim = args[0]
     problems: list[str] = []
 
     def expect(label: str, proc: subprocess.CompletedProcess,
@@ -56,6 +72,10 @@ def main(argv: list[str]) -> int:
     expect("malformed flag value",
            run(cnvsim, "run", "alex", "--images", "notanumber"),
            1, ["error"])
+    expect("unknown --arch id",
+           run(cnvsim, "run", "nin", "--images", "1",
+               "--arch", "dadiannao,eyeriss"),
+           1, ["fatal:", "eyeriss", "dadiannao"])
     expect("trace without --net",
            run(cnvsim, "trace", "--images", "1"),
            2, ["usage:"])
@@ -64,9 +84,22 @@ def main(argv: list[str]) -> int:
                "--report-json", "/nonexistent-dir/report.json"),
            1, ["fatal:", "/nonexistent-dir/report.json"])
 
+    cases = 6
+    if bench is not None:
+        expect("bench non-numeric --images",
+               run(bench, "--images", "notanumber"),
+               2, ["invalid numeric value", "--images"])
+        expect("bench non-numeric --seed",
+               run(bench, "--seed", "twenty"),
+               2, ["invalid numeric value", "--seed"])
+        expect("bench trailing junk in --images",
+               run(bench, "--images", "2x"),
+               2, ["invalid numeric value", "2x"])
+        cases += 3
+
     for p in problems:
         print(f"smoke_cli_errors: {p}", file=sys.stderr)
-    print(f"smoke_cli_errors: 5 cases, {len(problems)} problem(s)")
+    print(f"smoke_cli_errors: {cases} cases, {len(problems)} problem(s)")
     return 1 if problems else 0
 
 
