@@ -2,18 +2,23 @@
  * @file
  * google-benchmark microbenchmarks of the simulator's hot kernels:
  * ZFNAf encode/decode, non-zero count maps, the closed-form conv
- * timing models, and trace synthesis. These guard the throughput
- * that makes the paper-scale experiments (full 224x224 geometries,
- * batches of images, threshold sweeps) tractable.
+ * timing models, trace synthesis, thread-pool scaling, and the
+ * conv-trace cache. These guard the throughput that makes the
+ * paper-scale experiments (full 224x224 geometries, batches of
+ * images, threshold sweeps) tractable.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+
 #include "nn/trace.h"
 #include "nn/zoo/zoo.h"
+#include "sim/parallel.h"
 #include "sim/rng.h"
 #include "timing/conv_model.h"
 #include "timing/network_model.h"
+#include "timing/trace_cache.h"
 #include "zfnaf/format.h"
 
 using namespace cnv;
@@ -112,6 +117,63 @@ BM_ConvTimingCnv(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ConvTimingCnv);
+
+// Scaling of sim::parallelFor over the count-map kernel with a
+// local pool of Arg() workers. On multi-core CI hardware the Arg(4)
+// case should approach 4x the Arg(1) items/second; on a single-core
+// box the curve is flat, which is itself worth seeing in the output.
+void
+BM_ParallelForScaling(benchmark::State &state)
+{
+    const auto t = sparseTensor(56, 56, 256, 0.44);
+    sim::ThreadPool pool(static_cast<int>(state.range(0)));
+    constexpr std::size_t kTasks = 16;
+    for (auto _ : state) {
+        sim::parallelFor(pool, kTasks, [&](std::size_t) {
+            benchmark::DoNotOptimize(zfnaf::nonZeroCountMap(t));
+        });
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kTasks));
+}
+BENCHMARK(BM_ParallelForScaling)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Cold path of the conv-trace cache: every iteration misses (fresh
+// seed), so this prices one synthesize + count-map computation plus
+// the cache bookkeeping around it.
+void
+BM_TraceCacheMiss(benchmark::State &state)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 1);
+    const int nodeId = net->convNodeIds().front();
+    timing::TraceCache cache;
+    const dadiannao::NodeConfig cfg;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.countMap(
+            *net, nodeId, seed++, nullptr, nullptr, cfg.brickSize));
+    }
+}
+BENCHMARK(BM_TraceCacheMiss)->Unit(benchmark::kMillisecond);
+
+// Hot path: the same key every iteration, so this prices a lookup —
+// the cost every simulateNetwork call after the first pays per conv
+// layer when archs share a cache.
+void
+BM_TraceCacheHit(benchmark::State &state)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 1);
+    const int nodeId = net->convNodeIds().front();
+    timing::TraceCache cache;
+    const dadiannao::NodeConfig cfg;
+    cache.countMap(*net, nodeId, 1, nullptr, nullptr, cfg.brickSize);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.countMap(
+            *net, nodeId, 1, nullptr, nullptr, cfg.brickSize));
+    }
+}
+BENCHMARK(BM_TraceCacheHit);
 
 void
 BM_GoogleNetTimingEndToEnd(benchmark::State &state)

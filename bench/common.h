@@ -14,6 +14,8 @@
  *                (schema "cnv-figure-v1", see docs/observability.md)
  *   --trace-out PATH  write a Chrome trace-event JSON of the runs
  *                (honoured by benches that advertise it in --help)
+ *   --jobs N     worker-pool size (default: hardware concurrency or
+ *                CNVSIM_JOBS); results are job-count-invariant
  */
 
 #ifndef CNV_BENCH_COMMON_H
@@ -30,6 +32,7 @@
 
 #include "driver/driver.h"
 #include "driver/run_manifest.h"
+#include "sim/parallel.h"
 #include "sim/stats_export.h"
 #include "sim/table.h"
 
@@ -46,6 +49,8 @@ struct Options
     std::string json;
     /** When non-empty, a trace-event JSON is also written here. */
     std::string traceOut;
+    /** Worker-pool size this run was configured with. */
+    int jobs = 0;
 };
 
 inline Options
@@ -92,6 +97,13 @@ parseArgs(int argc, char **argv, int defaultImages = 2)
             numeric(opts.images);
         } else if (arg == "--seed") {
             numeric(opts.seed);
+        } else if (arg == "--jobs") {
+            numeric(opts.jobs);
+            if (opts.jobs < 1) {
+                std::cerr << "invalid numeric value '" << opts.jobs
+                          << "' for " << arg << " (expected >= 1)\n";
+                std::exit(2);
+            }
         } else if (arg == "--json") {
             opts.json = next();
         } else if (arg == "--trace-out") {
@@ -102,13 +114,15 @@ parseArgs(int argc, char **argv, int defaultImages = 2)
             opts.quick = true;
         } else if (arg == "--help") {
             std::cout << "options: --images N --seed S --csv --quick "
-                         "--json PATH --trace-out PATH\n";
+                         "--json PATH --trace-out PATH --jobs N\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option " << arg << '\n';
             std::exit(2);
         }
     }
+    if (opts.jobs > 0)
+        sim::setJobCount(opts.jobs);
     return opts;
 }
 

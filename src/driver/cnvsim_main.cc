@@ -30,13 +30,18 @@
  *   --trace-out PATH     write the Chrome trace-event JSON (trace)
  *   --stall-csv PATH     write the per-layer stall breakdown (trace)
  *   --max-events N       bound the trace sink (default 1048576)
+ *   --jobs N       worker-pool size (default: hardware concurrency,
+ *                  or the CNVSIM_JOBS environment variable); results
+ *                  are bit-identical for every value
  *
  * Options accept both "--flag value" and "--flag=value" spellings.
  * The report, trace-event and stall schemas are documented in
  * docs/observability.md.
  */
 
+#include <charconv>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -56,8 +61,10 @@
 #include "pruning/explore.h"
 #include "sim/error.h"
 #include "sim/logging.h"
+#include "sim/parallel.h"
 #include "sim/table.h"
 #include "timing/network_model.h"
+#include "timing/trace_cache.h"
 
 namespace {
 
@@ -79,6 +86,7 @@ struct CliOptions
     std::string traceOut;
     std::string stallCsv;
     std::size_t maxEvents = sim::TraceSink::kDefaultMaxEvents;
+    int jobs = 0; ///< 0 = keep the process default
 };
 
 [[noreturn]] void
@@ -92,8 +100,28 @@ usage()
         "  options : --arch a,b,... --images N --seed S --scale K\n"
         "            --stats --layers --floor F --report-json PATH\n"
         "            --report-csv PATH --net NAME --trace-out PATH\n"
-        "            --stall-csv PATH --max-events N\n";
+        "            --stall-csv PATH --max-events N --jobs N\n";
     std::exit(2);
+}
+
+/**
+ * Strict --jobs parsing: a plain positive integer, nothing else.
+ * Mirrors the bench runner's numeric validation (exit 2 with a
+ * diagnostic) rather than std::stoi's exception path.
+ */
+int
+parseJobs(const std::string &value)
+{
+    int jobs = 0;
+    const char *begin = value.data();
+    const char *end = begin + value.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, jobs);
+    if (ec != std::errc() || ptr != end || jobs < 1) {
+        std::cerr << "cnvsim: invalid value '" << value
+                  << "' for --jobs (expected an integer >= 1)\n";
+        std::exit(2);
+    }
+    return jobs;
 }
 
 CliOptions
@@ -144,6 +172,8 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
             opts.stallCsv = next();
         else if (args[i] == "--max-events")
             opts.maxEvents = std::stoull(next());
+        else if (args[i] == "--jobs")
+            opts.jobs = parseJobs(next());
         else if (args[i] == "--stats")
             opts.stats = true;
         else if (args[i] == "--layers")
@@ -151,6 +181,8 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
         else
             usage();
     }
+    if (opts.jobs > 0)
+        sim::setJobCount(opts.jobs);
     return opts;
 }
 
@@ -244,14 +276,23 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
     const auto &ref = *archs.front();
 
     // Single-image per-layer timelines, one run per selected arch
-    // (also reused by --stats below).
+    // (also reused by --stats below). The cache is shared with the
+    // aggregate sweep so each image's trace is synthesized once.
+    timing::TraceCache cache;
     std::vector<driver::ArchTimeline> timelines;
     if (opts.layers || opts.stats) {
-        timing::RunOptions ropts;
-        ropts.imageSeed = cfg.seed;
-        for (const arch::ArchModel *model : archs)
-            timelines.push_back(
-                {model, model->simulateNetwork(cfg.node, *net, ropts)});
+        timelines.resize(archs.size());
+        sim::parallelMapReduce(
+            archs.size(),
+            [&](std::size_t a) {
+                timing::RunOptions ropts;
+                ropts.imageSeed = cfg.seed;
+                ropts.cache = &cache;
+                return archs[a]->simulateNetwork(cfg.node, *net, ropts);
+            },
+            [&](std::size_t a, dadiannao::NetworkResult &&result) {
+                timelines[a] = {archs[a], std::move(result)};
+            });
     }
 
     if (opts.layers) {
@@ -285,7 +326,7 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
     }
 
     const auto report =
-        driver::evaluateNetworkArchs(cfg, *net, archs);
+        driver::evaluateNetworkArchs(cfg, *net, archs, nullptr, &cache);
     std::cout << "\n" << net->name() << " over " << cfg.images
               << " image(s):\n";
     sim::Table t({"architecture", "cycles",
@@ -441,12 +482,19 @@ cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
     const auto net = nn::zoo::build(id, cfg.seed);
 
     const auto archs = selectedArchs(opts);
-    timing::RunOptions ropts;
-    ropts.imageSeed = cfg.seed;
-    std::vector<driver::ArchTimeline> timelines;
-    for (const arch::ArchModel *model : archs)
-        timelines.push_back(
-            {model, model->simulateNetwork(cfg.node, *net, ropts)});
+    timing::TraceCache cache;
+    std::vector<driver::ArchTimeline> timelines(archs.size());
+    sim::parallelMapReduce(
+        archs.size(),
+        [&](std::size_t a) {
+            timing::RunOptions ropts;
+            ropts.imageSeed = cfg.seed;
+            ropts.cache = &cache;
+            return archs[a]->simulateNetwork(cfg.node, *net, ropts);
+        },
+        [&](std::size_t a, dadiannao::NetworkResult &&result) {
+            timelines[a] = {archs[a], std::move(result)};
+        });
 
     sim::TraceSink sink(opts.maxEvents);
     int pid = 1;

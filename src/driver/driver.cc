@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.h"
+#include "sim/parallel.h"
 #include "timing/network_model.h"
 
 namespace cnv::driver {
@@ -37,26 +38,44 @@ NetworkReport::speedupOf(std::string_view baseId,
 NetworkReport
 evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
                      const std::vector<const arch::ArchModel *> &archs,
-                     const nn::PruneConfig *prune)
+                     const nn::PruneConfig *prune,
+                     timing::TraceCache *cache)
 {
     CNV_ASSERT(!archs.empty(), "need at least one architecture");
+    CNV_ASSERT(cfg.images > 0, "need at least one image");
     NetworkReport report;
     report.name = net.name();
     report.images = cfg.images;
-    for (const arch::ArchModel *model : archs) {
-        ArchAggregate agg;
-        agg.model = model;
-        for (int i = 0; i < cfg.images; ++i) {
+    report.archs.resize(archs.size());
+    for (std::size_t a = 0; a < archs.size(); ++a)
+        report.archs[a].model = archs[a];
+
+    // Without a caller-provided cache the runs still share one for
+    // the duration of this sweep, so each image's trace is
+    // synthesized once instead of once per architecture.
+    timing::TraceCache localCache;
+    timing::TraceCache *shared = cache != nullptr ? cache : &localCache;
+
+    // Flattened (arch x image) grid; the ordered commit makes the
+    // per-arch accumulation order identical to the old serial loop.
+    const auto images = static_cast<std::size_t>(cfg.images);
+    sim::parallelMapReduce(
+        archs.size() * images,
+        [&](std::size_t g) {
+            const arch::ArchModel *model = archs[g / images];
             timing::RunOptions opts;
-            opts.imageSeed = cfg.seed + static_cast<std::uint64_t>(i);
+            opts.imageSeed =
+                cfg.seed + static_cast<std::uint64_t>(g % images);
             opts.prune = prune;
-            const auto run = model->simulateNetwork(cfg.node, net, opts);
+            opts.cache = shared;
+            return model->simulateNetwork(cfg.node, net, opts);
+        },
+        [&](std::size_t g, dadiannao::NetworkResult &&run) {
+            ArchAggregate &agg = report.archs[g / images];
             agg.cycles += run.totalCycles();
             agg.activity += run.totalActivity();
             agg.energy += run.totalEnergy();
-        }
-        report.archs.push_back(agg);
-    }
+        });
     return report;
 }
 

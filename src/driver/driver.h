@@ -20,6 +20,7 @@
 #include "dadiannao/metrics.h"
 #include "nn/network.h"
 #include "nn/zoo/zoo.h"
+#include "timing/trace_cache.h"
 
 namespace cnv::driver {
 
@@ -80,12 +81,17 @@ struct NetworkReport
 /**
  * Run `cfg.images` traces of a network through every selected
  * architecture model (optionally with dynamic pruning; the models
- * decide whether to honour it).
+ * decide whether to honour it). The (arch x image) grid fans out
+ * over sim::globalPool() and aggregates commit in selection order,
+ * so the report is bit-identical for every job count. Runs share
+ * `cache` when given (one synthesized trace per image across all
+ * architectures); a local cache is used otherwise.
  */
 NetworkReport evaluateNetworkArchs(
     const ExperimentConfig &cfg, const nn::Network &net,
     const std::vector<const arch::ArchModel *> &archs,
-    const nn::PruneConfig *prune = nullptr);
+    const nn::PruneConfig *prune = nullptr,
+    timing::TraceCache *cache = nullptr);
 
 /**
  * Run a network through the canonical dadiannao + cnv pair (the

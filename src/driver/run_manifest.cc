@@ -1,5 +1,7 @@
 #include "driver/run_manifest.h"
 
+#include "sim/parallel.h"
+
 #ifndef CNV_GIT_SHA
 #define CNV_GIT_SHA "unknown"
 #endif
@@ -20,6 +22,7 @@ RunManifest::writeJson(sim::JsonWriter &w) const
     w.key("nodeConfig").value(nodeConfig);
     w.key("images").value(images);
     w.key("seed").value(static_cast<std::uint64_t>(seed));
+    w.key("jobs").value(jobs);
     w.key("wallSeconds").value(wallSeconds);
     w.endObject();
 }
@@ -43,6 +46,7 @@ makeManifest(std::string tool)
     m.tool = std::move(tool);
     m.gitSha = buildGitSha();
     m.version = buildVersion();
+    m.jobs = sim::jobCount();
     return m;
 }
 

@@ -40,6 +40,10 @@ struct RunManifest
     int images = 0;
     /** Root seed of the run. */
     std::uint64_t seed = 0;
+    /** Worker-pool job count the run executed with (--jobs). The
+     *  only manifest field allowed to differ between otherwise
+     *  identical runs — results are job-count-invariant. */
+    int jobs = 1;
     /** Wall-clock duration of the measured portion, in seconds. */
     double wallSeconds = 0.0;
 

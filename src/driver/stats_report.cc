@@ -2,6 +2,7 @@
 
 #include "driver/trace_pipeline.h"
 #include "sim/logging.h"
+#include "sim/parallel.h"
 #include "sim/stats_export.h"
 #include "timing/network_model.h"
 
@@ -152,13 +153,24 @@ buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
     report.manifest.images = cfg.images;
     report.manifest.seed = cfg.seed;
 
-    timing::RunOptions opts;
-    opts.imageSeed = cfg.seed;
-    opts.prune = prune;
-    for (const arch::ArchModel *model : archs)
-        report.timelines.push_back(
-            {model, model->simulateNetwork(cfg.node, net, opts)});
-    report.aggregate = evaluateNetworkArchs(cfg, net, archs, prune);
+    // The timelines and the aggregate share one cache, so the
+    // report's counters reflect the whole run's reuse.
+    timing::TraceCache cache;
+    report.timelines.resize(archs.size());
+    sim::parallelMapReduce(
+        archs.size(),
+        [&](std::size_t a) {
+            timing::RunOptions opts;
+            opts.imageSeed = cfg.seed;
+            opts.prune = prune;
+            opts.cache = &cache;
+            return archs[a]->simulateNetwork(cfg.node, net, opts);
+        },
+        [&](std::size_t a, dadiannao::NetworkResult &&result) {
+            report.timelines[a] = {archs[a], std::move(result)};
+        });
+    report.aggregate = evaluateNetworkArchs(cfg, net, archs, prune, &cache);
+    report.cacheStats = cache.stats();
     return report;
 }
 
@@ -195,6 +207,12 @@ writeReportJson(const RunReport &report, std::ostream &os)
         w.endObject();
     }
     w.endObject();
+    w.key("cache").beginObject();
+    w.key("tensorHits").value(report.cacheStats.tensorHits);
+    w.key("tensorMisses").value(report.cacheStats.tensorMisses);
+    w.key("countMapHits").value(report.cacheStats.countMapHits);
+    w.key("countMapMisses").value(report.cacheStats.countMapMisses);
+    w.endObject();
     // Legacy two-architecture trio: kept whenever the canonical pair
     // is part of the selection so existing consumers keep parsing.
     const ArchAggregate *base = report.aggregate.findArch("dadiannao");
@@ -228,6 +246,7 @@ writeReportCsv(const RunReport &report, std::ostream &os)
     manifestRow("nodeConfig", m.nodeConfig, "node configuration");
     manifestRow("images", std::to_string(m.images), "images evaluated");
     manifestRow("seed", std::to_string(m.seed), "root seed");
+    manifestRow("jobs", std::to_string(m.jobs), "worker-pool job count");
     manifestRow("wallSeconds", sim::strfmt("{}", m.wallSeconds),
                 "wall-clock duration of the run");
 
@@ -241,6 +260,15 @@ writeReportCsv(const RunReport &report, std::ostream &os)
         os << "summary.archs." << a.id() << ".cycles,summary," << a.cycles
            << ',' << sim::csvQuote(a.id() + " cycles summed over images")
            << '\n';
+    const timing::TraceCache::Stats &cs = report.cacheStats;
+    os << "summary.cache.tensorHits,summary," << cs.tensorHits
+       << ",trace-cache tensor lookups served from cache\n";
+    os << "summary.cache.tensorMisses,summary," << cs.tensorMisses
+       << ",trace-cache tensors synthesized or loaded\n";
+    os << "summary.cache.countMapHits,summary," << cs.countMapHits
+       << ",trace-cache count-map lookups served from cache\n";
+    os << "summary.cache.countMapMisses,summary," << cs.countMapMisses
+       << ",trace-cache count maps computed\n";
     const ArchAggregate *base = report.aggregate.findArch("dadiannao");
     const ArchAggregate *cnvAgg = report.aggregate.findArch("cnv");
     if (base != nullptr && cnvAgg != nullptr) {

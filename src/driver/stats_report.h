@@ -63,6 +63,9 @@ struct RunReport
     std::vector<ArchTimeline> timelines;
     /** Aggregate over manifest.images images, same selection. */
     NetworkReport aggregate;
+    /** Trace-cache hit/miss totals of the run (job-count-invariant:
+     *  misses == distinct (image, layer, prune, brick) keys). */
+    timing::TraceCache::Stats cacheStats;
 };
 
 /**
@@ -89,6 +92,8 @@ RunReport buildRunReport(const ExperimentConfig &cfg,
  *     "architectures": { "<arch id>": <stat tree>, ... },
  *     "summary": { "images",
  *                  "archs": { "<arch id>": { "cycles" }, ... },
+ *                  "cache": { "tensorHits", "tensorMisses",
+ *                             "countMapHits", "countMapMisses" },
  *                  "baselineCycles", "cnvCycles", "speedup" } }
  *
  * where each stat tree follows the sim::exportJson() layout. The

@@ -172,6 +172,7 @@ Network::totalConvMacs() const
 void
 Network::materialize(int id) const
 {
+    const std::lock_guard<std::mutex> lock(materializeMutex_.m);
     if (materialized_[id])
         return;
     const Node &n = nodes_[id];

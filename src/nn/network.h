@@ -15,6 +15,7 @@
 #ifndef CNV_NN_NETWORK_H
 #define CNV_NN_NETWORK_H
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -171,7 +172,20 @@ class Network
     std::vector<int> convNodes_;
     bool calibrated_ = false;
 
-    // Lazily materialised parameters (logically const state).
+    // Lazily materialised parameters (logically const state). The
+    // mutex makes materialisation safe from concurrent forward()
+    // calls (sim::parallelFor image batches); copies and moves get
+    // a fresh mutex so Network stays value-semantic.
+    struct MemberMutex
+    {
+        MemberMutex() = default;
+        MemberMutex(const MemberMutex &) {}
+        MemberMutex(MemberMutex &&) noexcept {}
+        MemberMutex &operator=(const MemberMutex &) { return *this; }
+        MemberMutex &operator=(MemberMutex &&) noexcept { return *this; }
+        std::mutex m;
+    };
+    mutable MemberMutex materializeMutex_;
     mutable std::vector<tensor::FilterBank> weights_;
     mutable std::vector<std::vector<tensor::Fixed16>> biases_;
     mutable std::vector<bool> materialized_;

@@ -5,6 +5,7 @@
 
 #include "nn/trace.h"
 #include "sim/logging.h"
+#include "sim/parallel.h"
 #include "timing/network_model.h"
 
 namespace cnv::pruning {
@@ -27,6 +28,7 @@ makeInput(const Network &net, std::uint64_t seed)
 struct Reference
 {
     int top1 = -1;
+    NeuronTensor input; ///< the image, reused by every pruned run
     NeuronTensor logits;
     double norm = 0.0; ///< L2 of the logits
 };
@@ -35,16 +37,16 @@ std::vector<Reference>
 referenceRuns(const Network &net, int images, std::uint64_t seed)
 {
     std::vector<Reference> refs(images);
-    for (int i = 0; i < images; ++i) {
-        const NeuronTensor input = makeInput(net, seed + i);
-        auto run = net.forward(input);
+    sim::parallelFor(static_cast<std::size_t>(images), [&](std::size_t i) {
+        refs[i].input = makeInput(net, seed + i);
+        auto run = net.forward(refs[i].input);
         refs[i].top1 = run.top1;
         double sq = 0.0;
         for (const Fixed16 v : run.logits)
             sq += v.toDouble() * v.toDouble();
         refs[i].norm = std::sqrt(sq);
         refs[i].logits = std::move(run.logits);
-    }
+    });
     return refs;
 }
 
@@ -75,6 +77,32 @@ predictionPreserved(const Reference &ref, const nn::ForwardResult &run,
     return std::sqrt(sq) <= tolerance * std::max(ref.norm, 1e-6);
 }
 
+/**
+ * Fraction of images whose pruned prediction matches the reference.
+ * Each image's forward pass runs on the pool, reusing the input
+ * tensor stored with its reference.
+ */
+double
+agreementFraction(const Network &net, const std::vector<Reference> &refs,
+                  const PruneConfig &cfg, double tolerance)
+{
+    nn::ForwardOptions opts;
+    opts.prune = &cfg;
+    int agree = 0;
+    sim::parallelMapReduce(
+        refs.size(),
+        [&](std::size_t i) {
+            return predictionPreserved(refs[i],
+                                       net.forward(refs[i].input, opts),
+                                       tolerance);
+        },
+        [&](std::size_t, bool preserved) {
+            if (preserved)
+                ++agree;
+        });
+    return static_cast<double>(agree) / static_cast<double>(refs.size());
+}
+
 } // namespace
 
 double
@@ -83,15 +111,7 @@ relativeAccuracy(const Network &net, const PruneConfig &cfg, int images,
 {
     CNV_ASSERT(images > 0, "need at least one accuracy image");
     const std::vector<Reference> refs = referenceRuns(net, images, seed);
-    int agree = 0;
-    nn::ForwardOptions opts;
-    opts.prune = &cfg;
-    for (int i = 0; i < images; ++i) {
-        const NeuronTensor input = makeInput(net, seed + i);
-        if (predictionPreserved(refs[i], net.forward(input, opts), 0.05))
-            ++agree;
-    }
-    return static_cast<double>(agree) / images;
+    return agreementFraction(net, refs, cfg, 0.05);
 }
 
 std::vector<std::vector<int>>
@@ -131,17 +151,8 @@ searchLossless(const dadiannao::NodeConfig &cfg, const Network &fullNet,
     current.thresholds.assign(convs, opts.levels.front());
 
     auto accuracyOf = [&](const PruneConfig &candidate) {
-        nn::ForwardOptions fopts;
-        fopts.prune = &candidate;
-        int agree = 0;
-        for (int i = 0; i < opts.accuracyImages; ++i) {
-            const NeuronTensor input = makeInput(accNet, opts.seed + i);
-            if (predictionPreserved(refs[i],
-                                    accNet.forward(input, fopts),
-                                    opts.distortionTolerance))
-                ++agree;
-        }
-        return static_cast<double>(agree) / opts.accuracyImages;
+        return agreementFraction(accNet, refs, candidate,
+                                 opts.distortionTolerance);
     };
 
     // Greedy coordinate ascent: deeper layers tolerate larger

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * ThreadPool implementation plus the process-wide pool
+ * configuration (setJobCount / CNVSIM_JOBS). See parallel.h for the
+ * determinism and nesting guarantees.
+ */
+
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <limits>
+
+#include "sim/logging.h"
+
+namespace cnv::sim {
+
+/**
+ * One forEach() call: a shared index range the caller and any
+ * helping workers claim tasks from. The submitting thread waits on
+ * `done` until every claimed task has finished, then rethrows the
+ * lowest-index captured exception (deterministic regardless of
+ * which thread hit it first).
+ */
+struct ThreadPool::Batch
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::atomic<std::size_t> next{0};     ///< next index to claim
+    std::mutex m;                         ///< guards finished/error
+    std::condition_variable done;
+    std::size_t finished = 0;
+    std::size_t firstErrorIndex = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr firstError;
+};
+
+ThreadPool::ThreadPool(int jobs)
+{
+    jobs_ = jobs > 0 ? jobs : defaultJobCount();
+    workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+    for (int i = 0; i + 1 < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::runOneTask(Batch &batch)
+{
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n)
+        return false;
+    std::exception_ptr error;
+    try {
+        (*batch.fn)(i);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        const std::lock_guard<std::mutex> lock(batch.m);
+        if (error && i < batch.firstErrorIndex) {
+            batch.firstErrorIndex = i;
+            batch.firstError = error;
+        }
+        ++batch.finished;
+        if (batch.finished == batch.n)
+            batch.done.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to help with
+            batch = queue_.front();
+        }
+        if (!runOneTask(*batch)) {
+            // Exhausted: drop it from the queue if still at the front.
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!queue_.empty() && queue_.front() == batch)
+                queue_.pop_front();
+        }
+    }
+}
+
+void
+ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs_ == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(batch);
+    }
+    wake_.notify_all();
+    // The submitter drains its own batch, so even if every worker is
+    // busy elsewhere (or the pool is nested) this loop alone
+    // guarantees completion.
+    while (runOneTask(*batch)) {
+    }
+    {
+        std::unique_lock<std::mutex> lock(batch->m);
+        batch->done.wait(lock,
+                         [&batch] { return batch->finished == batch->n; });
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (*it == batch) {
+                queue_.erase(it);
+                break;
+            }
+        }
+    }
+    if (batch->firstError)
+        std::rethrow_exception(batch->firstError);
+}
+
+namespace {
+
+std::atomic<int> g_jobCount{0}; ///< 0 = not yet resolved
+std::mutex g_poolMutex;
+std::unique_ptr<ThreadPool> g_pool; ///< guarded by g_poolMutex
+
+} // namespace
+
+int
+defaultJobCount()
+{
+    if (const char *env = std::getenv("CNVSIM_JOBS")) {
+        int value = 0;
+        const char *end = env + std::strlen(env);
+        const auto [ptr, ec] = std::from_chars(env, end, value);
+        if (ec == std::errc() && ptr == end && value > 0)
+            return value;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+setJobCount(int jobs)
+{
+    if (jobs < 1)
+        CNV_FATAL("job count must be >= 1 (got %d)", jobs);
+    const std::lock_guard<std::mutex> lock(g_poolMutex);
+    g_jobCount.store(jobs, std::memory_order_relaxed);
+    g_pool.reset(); // rebuilt lazily with the new lane count
+}
+
+int
+jobCount()
+{
+    int value = g_jobCount.load(std::memory_order_relaxed);
+    if (value == 0) {
+        value = defaultJobCount();
+        g_jobCount.store(value, std::memory_order_relaxed);
+    }
+    return value;
+}
+
+ThreadPool &
+globalPool()
+{
+    const std::lock_guard<std::mutex> lock(g_poolMutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(jobCount());
+    return *g_pool;
+}
+
+} // namespace cnv::sim

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
+#include <utility>
 
 #include "dadiannao/other_layers.h"
 #include "nn/trace.h"
 #include "sim/logging.h"
+#include "sim/parallel.h"
 #include "tensor/serialize.h"
 #include "timing/conv_model.h"
+#include "timing/trace_cache.h"
 #include "zfnaf/format.h"
 
 namespace cnv::timing {
@@ -197,22 +201,34 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             // The baseline's cycle count is content-independent, but
             // its zero/non-zero activity split is not, so both
             // architectures consume the same trace (external when a
-            // provider supplies one, synthetic otherwise).
-            tensor::NeuronTensor in;
-            std::optional<tensor::NeuronTensor> external;
-            if (opts.traces)
-                external = opts.traces->convInput(net, id, opts.imageSeed);
-            if (external) {
-                in = std::move(*external);
-                if (arch == Arch::Cnv && opts.prune)
-                    nn::applyPruneToConvInput(net, id, in, *opts.prune);
+            // provider supplies one, synthetic otherwise). Pruning
+            // only reaches the CNV encoder; the baseline always
+            // sees unpruned values.
+            const nn::PruneConfig *prune =
+                arch == Arch::Cnv ? opts.prune : nullptr;
+            std::shared_ptr<const CountMap> cached;
+            CountMap local;
+            if (opts.cache) {
+                cached = opts.cache->countMap(net, id, opts.imageSeed,
+                                              opts.traces, prune,
+                                              cfg.brickSize);
             } else {
-                in = nn::synthesizeConvInput(
-                    net, id, opts.imageSeed,
-                    arch == Arch::Cnv ? opts.prune : nullptr);
+                tensor::NeuronTensor in;
+                std::optional<tensor::NeuronTensor> external;
+                if (opts.traces)
+                    external =
+                        opts.traces->convInput(net, id, opts.imageSeed);
+                if (external) {
+                    in = std::move(*external);
+                    if (prune)
+                        nn::applyPruneToConvInput(net, id, in, *prune);
+                } else {
+                    in = nn::synthesizeConvInput(net, id, opts.imageSeed,
+                                                 prune);
+                }
+                local = zfnaf::nonZeroCountMap(in, cfg.brickSize);
             }
-            const CountMap counts =
-                zfnaf::nonZeroCountMap(in, cfg.brickSize);
+            const CountMap &counts = cached ? *cached : local;
 
             LayerResult conv = convLayerTiming(cfg, arch, n, counts);
             overlap.deposit(conv.cycles);
@@ -238,14 +254,26 @@ speedup(const NodeConfig &cfg, const nn::Network &net, int images,
         std::uint64_t seedBase, const nn::PruneConfig *prune)
 {
     CNV_ASSERT(images > 0, "need at least one image");
+    // One cache for the batch: baseline and CNV share each image's
+    // synthesized tensor instead of generating it twice.
+    TraceCache cache;
     std::uint64_t base = 0, cnvCycles = 0;
-    for (int i = 0; i < images; ++i) {
-        RunOptions opts;
-        opts.imageSeed = seedBase + static_cast<std::uint64_t>(i);
-        opts.prune = prune;
-        base += simulateNetwork(cfg, net, Arch::Baseline, opts).totalCycles();
-        cnvCycles += simulateNetwork(cfg, net, Arch::Cnv, opts).totalCycles();
-    }
+    sim::parallelMapReduce(
+        static_cast<std::size_t>(images),
+        [&](std::size_t i) {
+            RunOptions opts;
+            opts.imageSeed = seedBase + static_cast<std::uint64_t>(i);
+            opts.prune = prune;
+            opts.cache = &cache;
+            return std::pair<std::uint64_t, std::uint64_t>(
+                simulateNetwork(cfg, net, Arch::Baseline, opts)
+                    .totalCycles(),
+                simulateNetwork(cfg, net, Arch::Cnv, opts).totalCycles());
+        },
+        [&](std::size_t, std::pair<std::uint64_t, std::uint64_t> &&r) {
+            base += r.first;
+            cnvCycles += r.second;
+        });
     return static_cast<double>(base) / static_cast<double>(cnvCycles);
 }
 

@@ -74,6 +74,8 @@ class DirectoryTraceProvider : public TraceProvider
     std::string dir_;
 };
 
+class TraceCache;
+
 /** Options for a trace-driven network timing run. */
 struct RunOptions
 {
@@ -86,6 +88,13 @@ struct RunOptions
     const nn::PruneConfig *prune = nullptr;
     /** Optional external activation traces. */
     const TraceProvider *traces = nullptr;
+    /**
+     * Optional shared trace cache (timing/trace_cache.h). When set,
+     * conv-layer inputs and count maps are fetched through it —
+     * bit-identical to the inline path, but computed once per
+     * (image, layer) across architectures and threads.
+     */
+    TraceCache *cache = nullptr;
 };
 
 /**

@@ -1,0 +1,110 @@
+#include "timing/trace_cache.h"
+
+#include <utility>
+
+#include "nn/trace.h"
+#include "sim/logging.h"
+#include "zfnaf/format.h"
+
+namespace cnv::timing {
+
+namespace {
+
+std::string
+tensorKey(const nn::Network &net, int convNodeId, std::uint64_t imageSeed)
+{
+    return sim::strfmt("{}#{}#{}", net.name(), convNodeId, imageSeed);
+}
+
+/** Stable text form of a prune config ("-" when absent/empty). */
+std::string
+pruneKey(const nn::PruneConfig *prune)
+{
+    if (!prune || prune->thresholds.empty())
+        return "-";
+    std::string key;
+    for (std::int32_t t : prune->thresholds) {
+        if (!key.empty())
+            key += ',';
+        key += std::to_string(t);
+    }
+    return key;
+}
+
+} // namespace
+
+std::shared_ptr<const tensor::NeuronTensor>
+TraceCache::convInput(const nn::Network &net, int convNodeId,
+                      std::uint64_t imageSeed, const TraceProvider *traces)
+{
+    std::shared_ptr<Slot<tensor::NeuronTensor>> slot;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto &entry = tensors_[tensorKey(net, convNodeId, imageSeed)];
+        if (!entry)
+            entry = std::make_shared<Slot<tensor::NeuronTensor>>();
+        slot = entry;
+    }
+    const std::lock_guard<std::mutex> lock(slot->m);
+    if (slot->value) {
+        tensorHits_.fetch_add(1, std::memory_order_relaxed);
+        return slot->value;
+    }
+    tensorMisses_.fetch_add(1, std::memory_order_relaxed);
+    std::optional<tensor::NeuronTensor> external;
+    if (traces)
+        external = traces->convInput(net, convNodeId, imageSeed);
+    slot->value = std::make_shared<const tensor::NeuronTensor>(
+        external ? std::move(*external)
+                 : nn::synthesizeConvInput(net, convNodeId, imageSeed,
+                                           nullptr));
+    return slot->value;
+}
+
+std::shared_ptr<const CountMap>
+TraceCache::countMap(const nn::Network &net, int convNodeId,
+                     std::uint64_t imageSeed, const TraceProvider *traces,
+                     const nn::PruneConfig *prune, int brickSize)
+{
+    std::shared_ptr<Slot<CountMap>> slot;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto &entry = counts_[sim::strfmt(
+            "{}#{}#{}", tensorKey(net, convNodeId, imageSeed),
+            pruneKey(prune), brickSize)];
+        if (!entry)
+            entry = std::make_shared<Slot<CountMap>>();
+        slot = entry;
+    }
+    const std::lock_guard<std::mutex> lock(slot->m);
+    if (slot->value) {
+        countHits_.fetch_add(1, std::memory_order_relaxed);
+        return slot->value;
+    }
+    countMisses_.fetch_add(1, std::memory_order_relaxed);
+    const std::shared_ptr<const tensor::NeuronTensor> unpruned =
+        convInput(net, convNodeId, imageSeed, traces);
+    if (prune) {
+        tensor::NeuronTensor pruned = *unpruned;
+        nn::applyPruneToConvInput(net, convNodeId, pruned, *prune);
+        slot->value = std::make_shared<const CountMap>(
+            zfnaf::nonZeroCountMap(pruned, brickSize));
+    } else {
+        slot->value = std::make_shared<const CountMap>(
+            zfnaf::nonZeroCountMap(*unpruned, brickSize));
+    }
+    return slot->value;
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    Stats s;
+    s.tensorHits = tensorHits_.load(std::memory_order_relaxed);
+    s.tensorMisses = tensorMisses_.load(std::memory_order_relaxed);
+    s.countMapHits = countHits_.load(std::memory_order_relaxed);
+    s.countMapMisses = countMisses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace cnv::timing

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for timing::TraceCache: cached tensors and count maps are
+ * bit-identical to the inline synthesis path (with and without
+ * pruning), hit/miss counters are exact, concurrent lookups of one
+ * key compute it once, and simulateNetwork produces identical
+ * results with and without a cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "nn/trace.h"
+#include "nn/zoo/zoo.h"
+#include "sim/parallel.h"
+#include "timing/network_model.h"
+#include "timing/trace_cache.h"
+#include "zfnaf/format.h"
+
+namespace {
+
+using namespace cnv;
+using dadiannao::NodeConfig;
+
+TEST(TraceCache, TensorMatchesInlineSynthesis)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    timing::TraceCache cache;
+    for (int nodeId : net->convNodeIds()) {
+        const auto cached = cache.convInput(*net, nodeId, 7, nullptr);
+        const auto inline_ =
+            nn::synthesizeConvInput(*net, nodeId, 7, nullptr);
+        EXPECT_EQ(*cached, inline_);
+    }
+}
+
+TEST(TraceCache, CountMapMatchesInlinePathWithPruning)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    nn::PruneConfig prune;
+    prune.thresholds.assign(
+        static_cast<std::size_t>(net->convLayerCount()), 16);
+    const NodeConfig cfg;
+
+    timing::TraceCache cache;
+    for (int nodeId : net->convNodeIds()) {
+        // Inline path: synthesize with pruning applied directly.
+        const auto pruned =
+            nn::synthesizeConvInput(*net, nodeId, 3, &prune);
+        const auto expected = zfnaf::nonZeroCountMap(pruned, cfg.brickSize);
+        const auto cached = cache.countMap(*net, nodeId, 3, nullptr,
+                                           &prune, cfg.brickSize);
+        EXPECT_EQ(*cached, expected);
+    }
+}
+
+TEST(TraceCache, HitAndMissCountersAreExact)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    const int nodeId = net->convNodeIds().front();
+    timing::TraceCache cache;
+
+    cache.countMap(*net, nodeId, 1, nullptr, nullptr, 16);
+    auto s = cache.stats();
+    EXPECT_EQ(s.countMapMisses, 1u);
+    EXPECT_EQ(s.countMapHits, 0u);
+    EXPECT_EQ(s.tensorMisses, 1u);
+
+    // Same key: a pure hit, nothing recomputed.
+    cache.countMap(*net, nodeId, 1, nullptr, nullptr, 16);
+    s = cache.stats();
+    EXPECT_EQ(s.countMapMisses, 1u);
+    EXPECT_EQ(s.countMapHits, 1u);
+    EXPECT_EQ(s.tensorMisses, 1u);
+
+    // Different brick size: new count map, but the tensor is shared.
+    cache.countMap(*net, nodeId, 1, nullptr, nullptr, 8);
+    s = cache.stats();
+    EXPECT_EQ(s.countMapMisses, 2u);
+    EXPECT_EQ(s.tensorMisses, 1u);
+    EXPECT_EQ(s.tensorHits, 1u);
+}
+
+TEST(TraceCache, ConcurrentLookupsComputeOnce)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    const int nodeId = net->convNodeIds().front();
+    timing::TraceCache cache;
+    sim::ThreadPool pool(4);
+    sim::parallelFor(pool, 16, [&](std::size_t) {
+        cache.countMap(*net, nodeId, 9, nullptr, nullptr, 16);
+    });
+    const auto s = cache.stats();
+    EXPECT_EQ(s.countMapMisses, 1u);
+    EXPECT_EQ(s.countMapHits, 15u);
+    EXPECT_EQ(s.tensorMisses, 1u);
+}
+
+TEST(TraceCache, SimulateNetworkIdenticalWithAndWithoutCache)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    const NodeConfig cfg;
+    nn::PruneConfig prune;
+    prune.thresholds.assign(
+        static_cast<std::size_t>(net->convLayerCount()), 16);
+
+    for (const nn::PruneConfig *p :
+         {static_cast<const nn::PruneConfig *>(nullptr),
+          static_cast<const nn::PruneConfig *>(&prune)}) {
+        for (timing::Arch arch :
+             {timing::Arch::Baseline, timing::Arch::Cnv}) {
+            timing::RunOptions plain;
+            plain.imageSeed = 11;
+            plain.prune = p;
+            const auto direct =
+                timing::simulateNetwork(cfg, *net, arch, plain);
+
+            timing::TraceCache cache;
+            timing::RunOptions withCache = plain;
+            withCache.cache = &cache;
+            const auto cached =
+                timing::simulateNetwork(cfg, *net, arch, withCache);
+
+            ASSERT_EQ(direct.layers.size(), cached.layers.size());
+            EXPECT_EQ(direct.totalCycles(), cached.totalCycles());
+            for (std::size_t i = 0; i < direct.layers.size(); ++i) {
+                EXPECT_EQ(direct.layers[i].cycles,
+                          cached.layers[i].cycles);
+                EXPECT_EQ(direct.layers[i].activity.zero,
+                          cached.layers[i].activity.zero);
+                EXPECT_EQ(direct.layers[i].activity.nonZero,
+                          cached.layers[i].activity.nonZero);
+            }
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/** @file Tests for the deterministic parallel runtime. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/error.h"
+#include "sim/parallel.h"
+
+namespace {
+
+using namespace cnv::sim;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(pool, hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleJobPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    int sum = 0;
+    // With one lane there are no workers; the serial path must still
+    // cover every index.
+    parallelFor(pool, 100, [&](std::size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> count{0};
+        parallelFor(pool, 50, [&](std::size_t) { count.fetch_add(1); });
+        EXPECT_EQ(count.load(), 50);
+    }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    parallelFor(pool, 0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, NestedParallelSectionsComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    // Every outer task submits its own inner batch to the same pool;
+    // the caller-participates design must not deadlock.
+    parallelFor(pool, 8, [&](std::size_t) {
+        parallelFor(pool, 8, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToSubmitter)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(parallelFor(pool, 64,
+                             [&](std::size_t i) {
+                                 if (i % 7 == 3)
+                                     throw std::runtime_error("task failed");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 10; ++round) {
+        try {
+            parallelFor(pool, 32, [&](std::size_t i) {
+                if (i == 5 || i == 21)
+                    throw std::runtime_error("boom at " +
+                                             std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom at 5");
+        }
+    }
+}
+
+TEST(ParallelMapReduce, CommitsInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::size_t> order;
+    parallelMapReduce(
+        pool, 100, [](std::size_t i) { return i * 3; },
+        [&](std::size_t i, std::size_t r) {
+            EXPECT_EQ(r, i * 3);
+            order.push_back(i);
+        });
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelMapReduce, NonCommutativeReductionIsJobCountInvariant)
+{
+    // String concatenation exposes any ordering difference.
+    auto runWith = [](int jobs) {
+        ThreadPool pool(jobs);
+        std::string result;
+        parallelMapReduce(
+            pool, 26,
+            [](std::size_t i) {
+                return std::string(1, static_cast<char>('a' + i));
+            },
+            [&](std::size_t, std::string &&s) { result += s; });
+        return result;
+    };
+    const std::string serial = runWith(1);
+    EXPECT_EQ(serial, "abcdefghijklmnopqrstuvwxyz");
+    EXPECT_EQ(runWith(2), serial);
+    EXPECT_EQ(runWith(5), serial);
+}
+
+TEST(ParallelConfig, SetJobCountRejectsNonPositive)
+{
+    EXPECT_THROW(setJobCount(0), FatalError);
+    EXPECT_THROW(setJobCount(-3), FatalError);
+}
+
+TEST(ParallelConfig, SetJobCountReconfiguresGlobalPool)
+{
+    setJobCount(3);
+    EXPECT_EQ(jobCount(), 3);
+    EXPECT_EQ(globalPool().threadCount(), 3);
+    setJobCount(1);
+    EXPECT_EQ(jobCount(), 1);
+    EXPECT_EQ(globalPool().threadCount(), 1);
+}
+
+TEST(ParallelConfig, DefaultJobCountIsPositive)
+{
+    EXPECT_GE(defaultJobCount(), 1);
+}
+
+} // namespace

@@ -2,7 +2,7 @@
 """cnvlint — Cnvlutin-specific invariants no generic linter can know.
 
 Run as a CTest check (see tests/CMakeLists.txt) from the repository
-root, or pass the root as the first argument. Six rules over
+root, or pass the root as the first argument. Seven rules over
 ``src/**``:
 
   magic-16      The brick/lane/unit/filter/bank geometry of the paper
@@ -37,6 +37,13 @@ root, or pass the root as the first argument. Six rules over
                 enums directly. The enums may appear only inside
                 ``src/timing/``, ``src/power/`` (their definitions)
                 and ``src/arch/`` (the registry bridge wrapping them).
+  raw-thread    All concurrency goes through the deterministic pool
+                (``sim::ThreadPool`` / ``sim::parallelFor``), so
+                ``std::thread``, ``std::jthread`` and ``std::async``
+                are banned outside ``src/sim/parallel.h`` /
+                ``src/sim/parallel.cc`` — ad-hoc threads would bypass
+                the --jobs limit and the ordered-commit determinism
+                guarantee.
 
 Suppressions: append ``// cnvlint: allow(<rule>)`` (with an optional
 — justification) to the offending line or the line directly above
@@ -72,8 +79,15 @@ SCHEMA_DOC = "docs/observability.md"
 # visible: their defining modules plus the registry that wraps them.
 ARCH_DISPATCH_DIR_ALLOWLIST = ("src/timing/", "src/power/", "src/arch/")
 
+# The one module allowed to own threads: the deterministic pool.
+RAW_THREAD_FILE_ALLOWLIST = {
+    "src/sim/parallel.h",
+    "src/sim/parallel.cc",
+}
+
 SUPPRESS = re.compile(r"cnvlint:\s*allow\(([a-z0-9-]+)\)")
 ARCH_ENUM = re.compile(r"\b(?:timing|power)::Arch\b")
+RAW_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
 BARE_16 = re.compile(r"(?<![\w.])16(?![\w.])")
 ERROR_CALLS = re.compile(r"(?<![\w:.])(assert|abort|exit)\s*\(")
 BANNED_CASTS = re.compile(r"\b(reinterpret_cast|const_cast)\b")
@@ -208,6 +222,24 @@ class Linter:
                 "arch::ArchModel registry (arch/registry.h)",
             )
 
+    def check_raw_thread(self, path: Path, lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        if rel in RAW_THREAD_FILE_ALLOWLIST:
+            return
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            m = RAW_THREAD.search(code)
+            if not m:
+                continue
+            if self.suppressed(lines, idx, "raw-thread"):
+                continue
+            self.report(
+                path, idx + 1, "raw-thread",
+                f"std::{m.group(1)} outside src/sim/parallel.* — use "
+                "sim::ThreadPool / sim::parallelFor so the --jobs "
+                "limit and the determinism guarantee hold",
+            )
+
     def check_schema_docs(self) -> None:
         doc_path = self.root / SCHEMA_DOC
         if not doc_path.is_file():
@@ -248,6 +280,7 @@ class Linter:
             self.check_error_style(path, lines)
             self.check_cast_ban(path, lines)
             self.check_arch_dispatch(path, lines)
+            self.check_raw_thread(path, lines)
             if path.suffix == ".h":
                 self.check_include_guard(path, raw)
         self.check_schema_docs()

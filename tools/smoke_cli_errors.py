@@ -14,12 +14,16 @@ Cases:
   * unknown --arch id      -> exit 1, "fatal:" + known ids on stderr
   * missing --net (trace)  -> exit 2, usage text on stderr
   * unwritable report path -> exit 1, "fatal:" + the path on stderr
+  * non-numeric --jobs     -> exit 2, diagnostic on stderr
+  * zero --jobs            -> exit 2, diagnostic on stderr
 
 With ``--bench BENCH`` a bench binary's shared argument parser
 (bench/common.h) is smoked too:
   * non-numeric --images   -> exit 2, diagnostic on stderr
   * non-numeric --seed     -> exit 2, diagnostic on stderr
   * trailing junk (--images 2x) -> exit 2, diagnostic on stderr
+  * trailing junk (--jobs 2x)   -> exit 2, diagnostic on stderr
+  * zero --jobs            -> exit 2, diagnostic on stderr
 
 Usage: smoke_cli_errors.py CNVSIM [--bench BENCH]
 """
@@ -83,8 +87,15 @@ def main(argv: list[str]) -> int:
            run(cnvsim, "run", "nin", "--images", "1",
                "--report-json", "/nonexistent-dir/report.json"),
            1, ["fatal:", "/nonexistent-dir/report.json"])
+    expect("non-numeric --jobs",
+           run(cnvsim, "run", "nin", "--images", "1",
+               "--jobs", "notanumber"),
+           2, ["invalid value", "--jobs"])
+    expect("zero --jobs",
+           run(cnvsim, "run", "nin", "--images", "1", "--jobs", "0"),
+           2, ["invalid value", "--jobs"])
 
-    cases = 6
+    cases = 8
     if bench is not None:
         expect("bench non-numeric --images",
                run(bench, "--images", "notanumber"),
@@ -95,7 +106,13 @@ def main(argv: list[str]) -> int:
         expect("bench trailing junk in --images",
                run(bench, "--images", "2x"),
                2, ["invalid numeric value", "2x"])
-        cases += 3
+        expect("bench trailing junk in --jobs",
+               run(bench, "--jobs", "2x"),
+               2, ["invalid numeric value", "--jobs"])
+        expect("bench zero --jobs",
+               run(bench, "--jobs", "0"),
+               2, ["invalid numeric value", "--jobs"])
+        cases += 5
 
     for p in problems:
         print(f"smoke_cli_errors: {p}", file=sys.stderr)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Pin the parallel runtime's determinism guarantee end to end.
+
+Run as the ``cnvsim_determinism`` CTest (see tests/CMakeLists.txt):
+executes the same ``cnvsim run --report-json`` experiment with
+``--jobs 1`` and ``--jobs 4`` and asserts the two reports are
+byte-identical apart from the lines carrying the manifest's ``jobs``
+field and the ``wallSeconds`` timing — the contract documented in
+docs/architecture.md ("Threading model and determinism"): every
+result, stat tree, and cache counter must be invariant under the
+worker-pool size.
+
+The JSON writer emits one key per line, so filtering whole lines
+containing the two volatile keys is exact, not heuristic.
+
+Usage: smoke_determinism.py CNVSIM OUTDIR
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+VOLATILE_KEYS = ('"jobs"', '"wallSeconds"')
+
+def report_lines(path: pathlib.Path) -> list[str]:
+    lines = path.read_text().splitlines()
+    kept = [l for l in lines
+            if not any(key in l for key in VOLATILE_KEYS)]
+    dropped = len(lines) - len(kept)
+    if dropped != len(VOLATILE_KEYS):
+        print(f"smoke_determinism: expected to drop exactly "
+              f"{len(VOLATILE_KEYS)} volatile lines from {path}, "
+              f"dropped {dropped}", file=sys.stderr)
+        sys.exit(1)
+    return kept
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cnvsim, outdir = argv[1], pathlib.Path(argv[2])
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    reports = {}
+    for jobs in (1, 4):
+        path = outdir / f"report-jobs{jobs}.json"
+        proc = subprocess.run(
+            [cnvsim, "run", "nin", "--images", "2",
+             "--arch", "dadiannao,cnv,cnv-pruned,cnv-b8",
+             "--seed", "2016", "--jobs", str(jobs),
+             "--report-json", str(path)],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"smoke_determinism: --jobs {jobs} run failed "
+                  f"(exit {proc.returncode}): {proc.stderr}",
+                  file=sys.stderr)
+            return 1
+        reports[jobs] = report_lines(path)
+
+    if reports[1] != reports[4]:
+        for a, b in zip(reports[1], reports[4]):
+            if a != b:
+                print(f"smoke_determinism: first divergence:\n"
+                      f"  jobs=1: {a}\n  jobs=4: {b}", file=sys.stderr)
+                break
+        else:
+            print(f"smoke_determinism: line counts differ: "
+                  f"{len(reports[1])} vs {len(reports[4])}",
+                  file=sys.stderr)
+        return 1
+
+    print(f"smoke_determinism: {len(reports[1])} report lines "
+          "byte-identical between --jobs 1 and --jobs 4")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
