@@ -3,6 +3,9 @@
  * Figure 9: speedup of CNV over the DaDianNao baseline, with only
  * zero-valued neurons skipped (CNV) and with the lossless dynamic
  * pruning thresholds of Table II also applied (CNV + Pruning).
+ * Also reports cnv2 (Cnvlutin2 ineffectual-weight skipping, not in
+ * the original figure) alongside, so the artifact captures the full
+ * three-architecture comparison.
  */
 
 #include <fstream>
@@ -68,22 +71,26 @@ main(int argc, char **argv)
     search.timingImages = 1;
     search.seed = opts.seed + 7;
 
-    sim::Table t({"network", "CNV", "paper CNV (approx)", "CNV+Pruning",
-                  "paper CNV+Pruning"});
+    const auto threeArchs =
+        arch::builtin().select("dadiannao,cnv,cnv2");
+    sim::Table t({"network", "CNV", "paper CNV (approx)", "CNV2",
+                  "CNV+Pruning", "paper CNV+Pruning"});
     sim::StatGroup fig("fig09");
     sim::TraceSink trace;
     std::uint32_t tracePid = 1;
-    double sumPlain = 0.0, sumPruned = 0.0;
+    double sumPlain = 0.0, sumCnv2 = 0.0, sumPruned = 0.0;
     for (auto id : nn::zoo::allNetworks()) {
         const auto net = nn::zoo::build(id, cfg.seed);
-        const auto plain = driver::evaluateNetwork(cfg, *net);
+        const auto plain =
+            driver::evaluateNetworkArchs(cfg, *net, threeArchs);
+        const double cnv2Speedup = plain.speedupOf("dadiannao", "cnv2");
 
         if (!opts.traceOut.empty()) {
             // One timeline per (network, architecture) pair, on the
             // manifest's root seed like the driver reports.
             timing::RunOptions ropts;
             ropts.imageSeed = cfg.seed;
-            for (const char *archId : {"cnv", "dadiannao"}) {
+            for (const char *archId : {"cnv", "cnv2", "dadiannao"}) {
                 const auto &model = arch::builtin().get(archId);
                 driver::appendNetworkTrace(
                     trace, model.simulateNetwork(cfg.node, *net, ropts),
@@ -104,10 +111,12 @@ main(int argc, char **argv)
         }
 
         sumPlain += plain.speedup();
+        sumCnv2 += cnv2Speedup;
         sumPruned += pruned;
         t.addRow({nn::zoo::netName(id),
                   sim::Table::num(plain.speedup()),
                   sim::Table::num(paperCnv(id)),
+                  sim::Table::num(cnv2Speedup),
                   opts.quick ? "(skipped)" : sim::Table::num(pruned),
                   sim::Table::num(paperCnvPruned(id))});
 
@@ -116,7 +125,11 @@ main(int argc, char **argv)
             plain.arch("dadiannao").cycles;
         g.addCounter("cnvCycles", "CNV cycles over images") +=
             plain.arch("cnv").cycles;
+        g.addCounter("cnv2Cycles", "Cnvlutin2 cycles over images") +=
+            plain.arch("cnv2").cycles;
         g.addScalar("speedup", "measured CNV speedup") = plain.speedup();
+        g.addScalar("cnv2Speedup", "measured Cnvlutin2 speedup") =
+            cnv2Speedup;
         g.addScalar("paperSpeedup", "paper's Figure 9 bar (approx)") =
             paperCnv(id);
         if (!opts.quick)
@@ -126,10 +139,13 @@ main(int argc, char **argv)
             paperCnvPruned(id);
     }
     t.addRow({"average", sim::Table::num(sumPlain / 6), "1.37",
+              sim::Table::num(sumCnv2 / 6),
               opts.quick ? "(skipped)" : sim::Table::num(sumPruned / 6),
               "1.52"});
     fig.addScalar("averageSpeedup", "arithmetic mean of CNV speedups") =
         sumPlain / 6;
+    fig.addScalar("averageCnv2Speedup",
+                  "arithmetic mean of Cnvlutin2 speedups") = sumCnv2 / 6;
     if (!opts.quick)
         fig.addScalar("averagePrunedSpeedup",
                       "arithmetic mean of CNV+Pruning speedups") =

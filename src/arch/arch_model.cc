@@ -169,6 +169,9 @@ builtin()
         r.add(std::make_shared<BuiltinModel>(
             "cnv", "Cnvlutin", timing::Arch::Cnv, power::Arch::Cnv));
         r.add(std::make_shared<BuiltinModel>(
+            "cnv2", "Cnvlutin2 (weight skipping, offset-only ZFNAf)",
+            timing::Arch::Cnv2, power::Arch::Cnv2));
+        r.add(std::make_shared<BuiltinModel>(
             "cnv-pruned", "Cnvlutin + dynamic pruning",
             timing::Arch::Cnv, power::Arch::Cnv, /*brickSize=*/0,
             /*defaultPrune=*/true));

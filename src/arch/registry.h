@@ -62,9 +62,12 @@ class ArchRegistry
 };
 
 /**
- * The built-in registry: dadiannao, cnv, cnv-pruned, and the
- * cnv-b4/cnv-b8/cnv-b32 brick-size variants (lane count and NM
- * banking scale with the brick, as in bench_abl_brick_size).
+ * The built-in registry: dadiannao, cnv, cnv2 (Cnvlutin2:
+ * ineffectual-weight skipping + offset-only ZFNAf), cnv-pruned, and
+ * the cnv-b4/cnv-b8/cnv-b32 brick-size variants (lane count and NM
+ * banking scale with the brick, as in bench_abl_brick_size). Every
+ * id here has a reference section in docs/architectures.md
+ * (enforced by the arch_docs_coverage CTest).
  */
 const ArchRegistry &builtin();
 

@@ -3,7 +3,9 @@
  * cnvsim — the command-line front end to the simulator.
  *
  *   cnvsim list                          network inventory
- *   cnvsim archs                         architecture registry listing
+ *   cnvsim archs [--ids]                 architecture registry listing
+ *                                        (--ids: bare id per line, for
+ *                                        scripts and doc checks)
  *   cnvsim run <net> [opts]              timing run on selected archs
  *   cnvsim power <net> [opts]            power / energy / EDP
  *   cnvsim prune <net> [opts]            lossless threshold search
@@ -33,6 +35,9 @@
  *   --jobs N       worker-pool size (default: hardware concurrency,
  *                  or the CNVSIM_JOBS environment variable); results
  *                  are bit-identical for every value
+ *   --weight-sparsity F  fraction of ineffectual weight bricks the
+ *                  cnv2 model skips (0..1, default 0.35); recorded
+ *                  in the report manifest, ignored by other archs
  *
  * Options accept both "--flag value" and "--flag=value" spellings.
  * The report, trace-event and stall schemas are documented in
@@ -87,6 +92,7 @@ struct CliOptions
     std::string stallCsv;
     std::size_t maxEvents = sim::TraceSink::kDefaultMaxEvents;
     int jobs = 0; ///< 0 = keep the process default
+    double weightSparsity = timing::kDefaultWeightSparsity;
 };
 
 [[noreturn]] void
@@ -100,7 +106,9 @@ usage()
         "  options : --arch a,b,... --images N --seed S --scale K\n"
         "            --stats --layers --floor F --report-json PATH\n"
         "            --report-csv PATH --net NAME --trace-out PATH\n"
-        "            --stall-csv PATH --max-events N --jobs N\n";
+        "            --stall-csv PATH --max-events N --jobs N\n"
+        "            --weight-sparsity F\n"
+        "  archs accepts --ids (bare registry ids, one per line)\n";
     std::exit(2);
 }
 
@@ -174,6 +182,16 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
             opts.maxEvents = std::stoull(next());
         else if (args[i] == "--jobs")
             opts.jobs = parseJobs(next());
+        else if (args[i] == "--weight-sparsity") {
+            const std::string &value = next();
+            opts.weightSparsity = std::stod(value);
+            if (opts.weightSparsity < 0.0 || opts.weightSparsity > 1.0) {
+                std::cerr << "cnvsim: invalid value '" << value
+                          << "' for --weight-sparsity (expected a "
+                             "fraction in [0, 1])\n";
+                std::exit(2);
+            }
+        }
         else if (args[i] == "--stats")
             opts.stats = true;
         else if (args[i] == "--layers")
@@ -245,8 +263,15 @@ cmdList()
 }
 
 int
-cmdArchs()
+cmdArchs(bool idsOnly)
 {
+    if (idsOnly) {
+        // Machine-readable listing for scripts (the docs-coverage
+        // check diffs this against docs/architectures.md sections).
+        for (const auto &model : arch::builtin().models())
+            std::cout << model->id() << '\n';
+        return 0;
+    }
     const dadiannao::NodeConfig base;
     sim::Table t({"id", "architecture", "brick", "lanes", "NM banks",
                   "area mm^2"});
@@ -271,6 +296,7 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
+    cfg.weightSparsity = opts.weightSparsity;
     const auto net = nn::zoo::build(id, cfg.seed);
     const auto archs = selectedArchs(opts);
     const auto &ref = *archs.front();
@@ -288,6 +314,7 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
                 timing::RunOptions ropts;
                 ropts.imageSeed = cfg.seed;
                 ropts.cache = &cache;
+                ropts.weightSparsity = cfg.weightSparsity;
                 return archs[a]->simulateNetwork(cfg.node, *net, ropts);
             },
             [&](std::size_t a, dadiannao::NetworkResult &&result) {
@@ -353,6 +380,7 @@ cmdPower(nn::zoo::NetId id, const CliOptions &opts)
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
+    cfg.weightSparsity = opts.weightSparsity;
     const auto archs = selectedArchs(opts);
     const auto &ref = *archs.front();
     const auto net = nn::zoo::build(id, cfg.seed);
@@ -419,7 +447,8 @@ cmdZfnaf(nn::zoo::NetId id, const CliOptions &opts)
 {
     const auto net = nn::zoo::build(id, opts.seed);
     sim::Table t({"conv layer", "input", "zero", "avg nz/brick",
-                  "empty bricks", "ZFNAf bits vs dense"});
+                  "empty bricks", "ZFNAf bits vs dense",
+                  "offset-only vs dense"});
     for (int nodeId : net->convNodeIds()) {
         const nn::Node &n = net->node(nodeId);
         const auto in =
@@ -440,13 +469,20 @@ cmdZfnaf(nn::zoo::NetId id, const CliOptions &opts)
                   sim::Table::num(
                       static_cast<double>(enc.storageBits()) /
                       (static_cast<double>(in.size()) *
+                       zfnaf::kNeuronBits)),
+                  sim::Table::num(
+                      static_cast<double>(enc.offsetOnlyStorageBits()) /
+                      (static_cast<double>(in.size()) *
                        zfnaf::kNeuronBits))});
     }
     t.print(std::cout);
     std::cout << "\nZFNAf keeps brick slots aligned, so the footprint is\n"
                  "always (16+offset bits)/16 = 1.25x the dense array —\n"
                  "the format trades memory for direct brick indexing\n"
-                 "(Section IV-B1).\n";
+                 "(Section IV-B1). The offset-only column is Cnvlutin2's\n"
+                 "encoding (values only for non-zero neurons, offsets for\n"
+                 "every slot), whose footprint shrinks with sparsity —\n"
+                 "see docs/zfnaf.md.\n";
     return 0;
 }
 
@@ -479,6 +515,7 @@ cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
+    cfg.weightSparsity = opts.weightSparsity;
     const auto net = nn::zoo::build(id, cfg.seed);
 
     const auto archs = selectedArchs(opts);
@@ -490,6 +527,7 @@ cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
             timing::RunOptions ropts;
             ropts.imageSeed = cfg.seed;
             ropts.cache = &cache;
+            ropts.weightSparsity = cfg.weightSparsity;
             return archs[a]->simulateNetwork(cfg.node, *net, ropts);
         },
         [&](std::size_t a, dadiannao::NetworkResult &&result) {
@@ -655,7 +693,7 @@ main(int argc, char **argv)
         if (command == "list")
             return cmdList();
         if (command == "archs")
-            return cmdArchs();
+            return cmdArchs(args.size() >= 2 && args[1] == "--ids");
         if (command == "reproduce")
             return cmdReproduce(parseOptions(args, 1));
         if (command == "trace" && args.size() >= 2 &&

@@ -68,6 +68,7 @@ evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
                 cfg.seed + static_cast<std::uint64_t>(g % images);
             opts.prune = prune;
             opts.cache = shared;
+            opts.weightSparsity = cfg.weightSparsity;
             return model->simulateNetwork(cfg.node, net, opts);
         },
         [&](std::size_t g, dadiannao::NetworkResult &&run) {

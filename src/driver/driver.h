@@ -20,6 +20,7 @@
 #include "dadiannao/metrics.h"
 #include "nn/network.h"
 #include "nn/zoo/zoo.h"
+#include "timing/network_model.h"
 #include "timing/trace_cache.h"
 
 namespace cnv::driver {
@@ -34,6 +35,9 @@ struct ExperimentConfig
     std::uint64_t seed = 2016;
     /** Reduction factor for accuracy-study network variants. */
     int accuracyScale = 8;
+    /** Cnv2 weight-sparsity knob (timing::RunOptions::weightSparsity);
+     *  ignored by architectures without weight skipping. */
+    double weightSparsity = timing::kDefaultWeightSparsity;
 };
 
 /** One architecture's aggregate over a network's image batch. */

@@ -1,6 +1,7 @@
 #include "driver/run_manifest.h"
 
 #include "sim/parallel.h"
+#include "timing/network_model.h"
 
 #ifndef CNV_GIT_SHA
 #define CNV_GIT_SHA "unknown"
@@ -23,6 +24,7 @@ RunManifest::writeJson(sim::JsonWriter &w) const
     w.key("images").value(images);
     w.key("seed").value(static_cast<std::uint64_t>(seed));
     w.key("jobs").value(jobs);
+    w.key("weightSparsity").value(weightSparsity);
     w.key("wallSeconds").value(wallSeconds);
     w.endObject();
 }
@@ -47,6 +49,7 @@ makeManifest(std::string tool)
     m.gitSha = buildGitSha();
     m.version = buildVersion();
     m.jobs = sim::jobCount();
+    m.weightSparsity = timing::kDefaultWeightSparsity;
     return m;
 }
 

@@ -44,6 +44,10 @@ struct RunManifest
      *  only manifest field allowed to differ between otherwise
      *  identical runs — results are job-count-invariant. */
     int jobs = 1;
+    /** Cnv2 weight-sparsity knob the run executed with
+     *  (--weight-sparsity); architectures without weight skipping
+     *  ignore it but the provenance is recorded regardless. */
+    double weightSparsity = 0.0;
     /** Wall-clock duration of the measured portion, in seconds. */
     double wallSeconds = 0.0;
 

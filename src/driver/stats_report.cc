@@ -152,6 +152,7 @@ buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
     report.manifest.nodeConfig = cfg.node.describe();
     report.manifest.images = cfg.images;
     report.manifest.seed = cfg.seed;
+    report.manifest.weightSparsity = cfg.weightSparsity;
 
     // The timelines and the aggregate share one cache, so the
     // report's counters reflect the whole run's reuse.
@@ -164,6 +165,7 @@ buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
             opts.imageSeed = cfg.seed;
             opts.prune = prune;
             opts.cache = &cache;
+            opts.weightSparsity = cfg.weightSparsity;
             return archs[a]->simulateNetwork(cfg.node, net, opts);
         },
         [&](std::size_t a, dadiannao::NetworkResult &&result) {
@@ -247,6 +249,8 @@ writeReportCsv(const RunReport &report, std::ostream &os)
     manifestRow("images", std::to_string(m.images), "images evaluated");
     manifestRow("seed", std::to_string(m.seed), "root seed");
     manifestRow("jobs", std::to_string(m.jobs), "worker-pool job count");
+    manifestRow("weightSparsity", sim::strfmt("{}", m.weightSparsity),
+                "Cnv2 weight-sparsity knob");
     manifestRow("wallSeconds", sim::strfmt("{}", m.wallSeconds),
                 "wall-clock duration of the run");
 

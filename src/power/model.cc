@@ -18,6 +18,10 @@ areaOf(Arch arch, const PowerParams &p)
         a.nm *= p.nmAreaScaleCnv;
         a.sram *= p.sramAreaScaleCnv;
         a.logic *= p.logicAreaScaleCnv;
+    } else if (arch == Arch::Cnv2) {
+        a.nm *= p.nmAreaScaleCnv2;
+        a.sram *= p.sramAreaScaleCnv2;
+        a.logic *= p.logicAreaScaleCnv2;
     }
     return a;
 }
@@ -27,17 +31,21 @@ powerOf(Arch arch, const EnergyCounters &c, std::uint64_t cycles,
         const PowerParams &p)
 {
     CNV_ASSERT(cycles > 0, "power needs a non-empty run");
-    const bool cnvArch = arch == Arch::Cnv;
+    // Cnv2 shares CNV's encoded datapath (offset buffers, banked
+    // NM); only its NM provisioning and dispatcher scales differ.
+    const bool encodedArch = arch != Arch::Baseline;
     const double seconds =
         static_cast<double>(cycles) / (p.clockGhz * 1e9);
 
     // Dynamic energy per component (joules).
     const double pj = 1e-12;
     const double sbE = static_cast<double>(c.sbReads) * p.sbReadPj * pj;
-    const double nmScale = cnvArch ? p.nmAccessScaleCnv : 1.0;
+    const double nmScale = arch == Arch::Cnv ? p.nmAccessScaleCnv
+        : arch == Arch::Cnv2               ? p.nmAccessScaleCnv2
+                                           : 1.0;
     const double nmE = static_cast<double>(c.nmReads + c.nmWrites) *
                        p.nmAccessPj * nmScale * pj;
-    const double nbinScale = cnvArch ? p.nbinScaleCnv : 1.0;
+    const double nbinScale = encodedArch ? p.nbinScaleCnv : 1.0;
     const double sramE = static_cast<double>(c.nbinReads + c.nbinWrites) *
                          p.nbinAccessPj * nbinScale * pj;
     // Off-chip DRAM energy (c.offchipBytes) is excluded: the paper
@@ -59,10 +67,14 @@ powerOf(Arch arch, const EnergyCounters &c, std::uint64_t cycles,
     out.nmStatic = p.nmStaticW;
     out.logicStatic = p.logicStaticW;
     out.sramStatic = p.sramStaticW;
-    if (cnvArch) {
+    if (arch == Arch::Cnv) {
         out.nmStatic *= p.nmAreaScaleCnv * p.nmBankingStaticScaleCnv;
         out.sramStatic *= p.sramAreaScaleCnv;
         out.logicStatic *= p.logicAreaScaleCnv;
+    } else if (arch == Arch::Cnv2) {
+        out.nmStatic *= p.nmAreaScaleCnv2 * p.nmBankingStaticScaleCnv;
+        out.sramStatic *= p.sramAreaScaleCnv2;
+        out.logicStatic *= p.logicAreaScaleCnv2;
     }
     return out;
 }

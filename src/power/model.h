@@ -24,7 +24,7 @@
 namespace cnv::power {
 
 /** Architecture variant for area/energy scaling. */
-enum class Arch { Baseline, Cnv };
+enum class Arch { Baseline, Cnv, Cnv2 };
 
 /** Component areas in mm^2 (65nm node). */
 struct AreaBreakdown
@@ -90,10 +90,24 @@ struct PowerParams
     double sramAreaScaleCnv = 1.158; ///< offset buffer space
     double logicAreaScaleCnv = 1.01; ///< dispatcher + encoders
 
+    // --- Cnvlutin2 area scale factors (offset-only ZFNAf +
+    // --- weight-skip sequencing; see docs/architectures.md) ---
+    /** NM provisioned for offset-only ZFNAf: per-slot 4-bit offsets
+     *  with values packed, so less padding capacity than CNV's
+     *  (value, offset) slots; banking retained. */
+    double nmAreaScaleCnv2 = 1.28;
+    double sramAreaScaleCnv2 = 1.158; ///< same offset buffers as CNV
+    /** Dispatcher additionally walks the static weight-skip
+     *  schedule (per-filter-group brick masks). */
+    double logicAreaScaleCnv2 = 1.02;
+
     // --- Dynamic energies (picojoules per event) ---
     double sbReadPj = 48.0;       ///< 16-synapse (256-bit) eDRAM read
     double nmAccessPj = 60.0;     ///< 16-neuron NM read or write
     double nmAccessScaleCnv = 1.35; ///< wider (offsets) + banked access
+    /** Narrower rows than CNV (offset-only encoding packs values),
+     *  still banked. */
+    double nmAccessScaleCnv2 = 1.30;
     double nbinAccessPj = 1.1;    ///< NBin/NBout entry access
     double nbinScaleCnv = 1.25;   ///< entry carries a 4-bit offset
     double multPj = 0.5;          ///< 16-bit multiply

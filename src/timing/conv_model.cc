@@ -280,4 +280,176 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
     return r;
 }
 
+namespace {
+
+/** splitmix64 finalizer: uncorrelated 64-bit hash of its input. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Whether the weight brick a filter group applies at one (kernel
+ * position, depth brick, pass) is ineffectual. A pure function of
+ * the static schedule coordinates — the same answer on every call,
+ * every thread and every job count — standing in for the offline
+ * weight-pruning schedule Cnvlutin2 compiles per layer.
+ */
+bool
+weightBrickIneffectual(int convIndex, int ky, int kx, int brick, int pass,
+                       double sparsity)
+{
+    if (sparsity <= 0.0)
+        return false;
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(convIndex) + 1);
+    h = mix64(h ^ static_cast<std::uint64_t>(ky));
+    h = mix64(h ^ (static_cast<std::uint64_t>(kx) << 20));
+    h = mix64(h ^ (static_cast<std::uint64_t>(brick) << 40));
+    h = mix64(h ^ static_cast<std::uint64_t>(pass));
+    // Top 53 bits as a uniform deviate in [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < sparsity;
+}
+
+} // namespace
+
+LayerResult
+convCnv2(const NodeConfig &cfg, const nn::ConvParams &p,
+         const Shape3 &inShape, const CountMap &counts, int convIndex,
+         double weightSparsity)
+{
+    const Shape3 outShape = p.outputShape(inShape);
+    const int lanes = cfg.lanes;
+    CNV_ASSERT(lanes == cfg.brickSize, "CNV needs one lane per brick slot");
+    CNV_ASSERT(weightSparsity >= 0.0 && weightSparsity <= 1.0,
+               "weight sparsity {} outside [0, 1]", weightSparsity);
+    const int depthPerGroup = inShape.z / p.groups;
+    const int filtersPerGroup = p.filters / p.groups;
+    const int parallel = cfg.parallelFilters();
+    const std::uint64_t units = cfg.units;
+
+    LayerResult r;
+    r.name = "conv(cnv2)";
+
+    for (int g = 0; g < p.groups; ++g) {
+        if (p.groups > 1 && (g * depthPerGroup) % cfg.brickSize != 0)
+            CNV_FATAL("group depth must be brick aligned");
+        const int brickBase = (g * depthPerGroup) / cfg.brickSize;
+        const int bricksPerCell =
+            (depthPerGroup + cfg.brickSize - 1) / cfg.brickSize;
+
+        const int passes = (filtersPerGroup + parallel - 1) / parallel;
+
+        std::array<std::uint64_t, 64> laneTime{};
+        CNV_ASSERT(lanes <= 64, "lane count above model limit");
+
+        // Same window grouping as convCnv, but the lane cost of a
+        // brick depends on the filter pass (each pass is a different
+        // filter group with its own static weight schedule), so the
+        // lane-time profile is rebuilt per pass instead of being
+        // multiplied across passes.
+        const int inFlight = cfg.windowsInFlight();
+        const std::int64_t totalWindows =
+            static_cast<std::int64_t>(outShape.x) * outShape.y;
+
+        for (std::int64_t w0 = 0; w0 < totalWindows; w0 += inFlight) {
+            const int batch = static_cast<int>(
+                std::min<std::int64_t>(inFlight, totalWindows - w0));
+
+            for (int pass = 0; pass < passes; ++pass) {
+                const int fCount = std::min(
+                    parallel, filtersPerGroup - pass * parallel);
+                const int activeUnits =
+                    (fCount + cfg.filtersPerUnit - 1) /
+                    cfg.filtersPerUnit;
+
+                laneTime.fill(0);
+                std::uint64_t nzPass = 0;
+                std::uint64_t cells = 0;
+                int windowSeq = 0;
+                for (int w = 0; w < batch; ++w) {
+                    const int ox = static_cast<int>((w0 + w) % outShape.x);
+                    const int oy = static_cast<int>((w0 + w) / outShape.x);
+                    const int x0 = ox * p.stride - p.pad;
+                    const int y0 = oy * p.stride - p.pad;
+                    for (int ky = 0; ky < p.fy; ++ky) {
+                        const int iy = y0 + ky;
+                        if (iy < 0 || iy >= inShape.y)
+                            continue;
+                        for (int kx = 0; kx < p.fx; ++kx) {
+                            const int ix = x0 + kx;
+                            if (ix < 0 || ix >= inShape.x)
+                                continue;
+                            ++cells;
+                            for (int b = 0; b < bricksPerCell; ++b) {
+                                const int lane = core::laneOf(
+                                    cfg.laneAssignment, ix, iy,
+                                    brickBase + b, windowSeq++, lanes);
+                                const std::uint32_t nz =
+                                    counts.at(ix, iy, brickBase + b);
+                                std::uint64_t cost;
+                                if (nz == 0 ||
+                                    weightBrickIneffectual(
+                                        convIndex, ky, kx, brickBase + b,
+                                        pass, weightSparsity)) {
+                                    // Empty activation brick, or a
+                                    // weight brick the whole filter
+                                    // group prunes: one dispatcher
+                                    // slot to step past (the NM
+                                    // fetch still happens), no
+                                    // serialised multiply-cycles.
+                                    cost = cfg.emptyBrickCostsCycle ? 1 : 0;
+                                } else {
+                                    cost = nz;
+                                    nzPass += nz;
+                                }
+                                laneTime[lane] += cost;
+                            }
+                        }
+                    }
+                }
+
+                std::uint64_t groupCycles = 0;
+                std::uint64_t laneSum = 0;
+                for (int l = 0; l < lanes; ++l) {
+                    groupCycles = std::max(groupCycles, laneTime[l]);
+                    laneSum += laneTime[l];
+                }
+
+                r.cycles += groupCycles;
+                r.activity.nonZero += nzPass * units;
+                r.activity.stall +=
+                    (groupCycles * lanes - nzPass) * units;
+                r.energy.nmReads +=
+                    cells * static_cast<std::uint64_t>(bricksPerCell);
+                r.energy.nbinWrites += nzPass * units;
+                r.energy.nbinReads += nzPass * units;
+                r.energy.sbReads += nzPass * activeUnits;
+                r.energy.multOps += nzPass * fCount;
+                r.energy.addOps += nzPass * fCount;
+                r.micro.laneBusyCycles += laneSum;
+                const std::uint64_t barrier =
+                    groupCycles * static_cast<std::uint64_t>(lanes) -
+                    laneSum;
+                r.micro.laneIdleCycles += barrier;
+                r.micro.stalls.windowBarrier += barrier;
+            }
+        }
+    }
+
+    const std::uint64_t windows =
+        static_cast<std::uint64_t>(outShape.x) * outShape.y;
+    r.energy.nmWrites += windows * ((p.filters + lanes - 1) / lanes);
+    r.energy.encoderOps += windows * static_cast<std::uint64_t>(p.filters);
+    r.micro.encoderBusyCycles =
+        windows * static_cast<std::uint64_t>(p.filters);
+    r.micro.encoderBricks =
+        windows * static_cast<std::uint64_t>(
+                      (p.filters + cfg.brickSize - 1) / cfg.brickSize);
+    return r;
+}
+
 } // namespace cnv::timing

@@ -48,6 +48,30 @@ dadiannao::LayerResult convCnv(const dadiannao::NodeConfig &cfg,
                                const tensor::Shape3 &inShape,
                                const CountMap &counts);
 
+/**
+ * Cnvlutin2 conv layer timing: encoded mode with ineffectual-weight
+ * skipping on top of CNV's zero-activation skipping (arXiv
+ * 1705.00125). A lane advances past an (activation brick, weight
+ * brick) pair when either side is ineffectual: empty activation
+ * bricks cost what they cost under CNV, and activation bricks whose
+ * matching weight brick is ineffectual for the whole in-flight
+ * filter group are stepped past in the same single dispatcher slot
+ * (the NM fetch still happens; only the serialised multiply-cycles
+ * disappear). Which weight bricks are ineffectual is a deterministic
+ * hash of (conv layer, kernel position, depth brick, filter pass) at
+ * rate `weightSparsity` — a stand-in for the static post-pruning
+ * schedule the paper compiles offline. With weightSparsity == 0 the
+ * result is bit-identical to convCnv.
+ *
+ * @param convIndex The layer's conv index (hash seed component).
+ * @param weightSparsity Ineffectual weight-brick fraction in [0, 1].
+ */
+dadiannao::LayerResult convCnv2(const dadiannao::NodeConfig &cfg,
+                                const nn::ConvParams &p,
+                                const tensor::Shape3 &inShape,
+                                const CountMap &counts, int convIndex,
+                                double weightSparsity);
+
 } // namespace cnv::timing
 
 #endif // CNV_TIMING_CONV_MODEL_H

@@ -24,7 +24,12 @@ using dadiannao::OverlapTracker;
 const char *
 archName(Arch a)
 {
-    return a == Arch::Baseline ? "dadiannao" : "cnv";
+    switch (a) {
+      case Arch::Baseline: return "dadiannao";
+      case Arch::Cnv: return "cnv";
+      case Arch::Cnv2: return "cnv2";
+    }
+    CNV_FATAL("unknown timing::Arch value {}", static_cast<int>(a));
 }
 
 std::string
@@ -130,8 +135,14 @@ fcCnvTiming(const dadiannao::NodeConfig &cfg, const nn::Node &node,
 
 LayerResult
 convLayerTiming(const NodeConfig &cfg, Arch arch, const nn::Node &node,
-                const CountMap &counts)
+                const CountMap &counts, double weightSparsity)
 {
+    const auto encodedTiming = [&]() {
+        return arch == Arch::Cnv2
+            ? convCnv2(cfg, node.conv, node.inShape, counts,
+                       node.convIndex, weightSparsity)
+            : convCnv(cfg, node.conv, node.inShape, counts);
+    };
     LayerResult conv;
     if (arch == Arch::Baseline || node.convIndex == 0) {
         conv = convBaseline(cfg, node.conv, node.inShape, counts,
@@ -142,13 +153,13 @@ convLayerTiming(const NodeConfig &cfg, Arch arch, const nn::Node &node,
         // with the profitable policy it picks the cheaper of the
         // two (estimable from the encoder's non-zero counts of the
         // previous layer).
-        LayerResult encoded = convCnv(cfg, node.conv, node.inShape, counts);
+        LayerResult encoded = encodedTiming();
         LayerResult conventional =
             convBaseline(cfg, node.conv, node.inShape, counts, false);
         conv = encoded.cycles <= conventional.cycles
             ? std::move(encoded) : std::move(conventional);
     } else {
-        conv = convCnv(cfg, node.conv, node.inShape, counts);
+        conv = encodedTiming();
     }
     conv.name = node.name;
     return conv;
@@ -159,7 +170,7 @@ fcLayerTiming(const NodeConfig &cfg, Arch arch, const nn::Network &net,
               int nodeId, OverlapTracker &overlap)
 {
     const nn::Node &n = net.node(nodeId);
-    if (arch == Arch::Cnv && cfg.cnvSkipsFcLayers)
+    if (arch != Arch::Baseline && cfg.cnvSkipsFcLayers)
         return fcCnvTiming(cfg, n, fcInputZeroFraction(net, nodeId),
                            overlap);
     return dadiannao::otherLayerTiming(cfg, n, overlap);
@@ -202,10 +213,10 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             // its zero/non-zero activity split is not, so both
             // architectures consume the same trace (external when a
             // provider supplies one, synthetic otherwise). Pruning
-            // only reaches the CNV encoder; the baseline always
-            // sees unpruned values.
+            // only reaches the encoder (CNV and Cnv2); the baseline
+            // always sees unpruned values.
             const nn::PruneConfig *prune =
-                arch == Arch::Cnv ? opts.prune : nullptr;
+                arch != Arch::Baseline ? opts.prune : nullptr;
             std::shared_ptr<const CountMap> cached;
             CountMap local;
             if (opts.cache) {
@@ -230,7 +241,8 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             }
             const CountMap &counts = cached ? *cached : local;
 
-            LayerResult conv = convLayerTiming(cfg, arch, n, counts);
+            LayerResult conv = convLayerTiming(cfg, arch, n, counts,
+                                               opts.weightSparsity);
             overlap.deposit(conv.cycles);
             result.layers.push_back(conv);
             break;

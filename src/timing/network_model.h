@@ -23,9 +23,22 @@
 namespace cnv::timing {
 
 /** Which architecture to model. */
-enum class Arch { Baseline, Cnv };
+enum class Arch { Baseline, Cnv, Cnv2 };
 
 const char *archName(Arch a);
+
+/**
+ * Default fraction of ineffectual weight bricks assumed on the
+ * synthesized filters for Cnvlutin2 runs (timing::Arch::Cnv2). The
+ * synthetic filter banks are Gaussian and carry no exact zeros, so
+ * the weight-sparsity knob models the post-pruning regime the
+ * Cnvlutin2 paper (arXiv 1705.00125) targets: the fraction of
+ * (filter-group, kernel-position, depth-brick) weight bricks whose
+ * weights are all ineffectual and can be skipped at dispatch.
+ * Override per run via RunOptions::weightSparsity (CLI:
+ * `--weight-sparsity`).
+ */
+inline constexpr double kDefaultWeightSparsity = 0.35;
 
 /**
  * Source of per-layer input activation traces. The default
@@ -95,20 +108,32 @@ struct RunOptions
      * (image, layer) across architectures and threads.
      */
     TraceCache *cache = nullptr;
+    /**
+     * Weight-sparsity knob for Cnv2 (ignored by the other
+     * architectures): fraction of weight bricks that are
+     * ineffectual across a filter-group pass and skipped at
+     * dispatch. Deterministic per (layer, kernel position, brick,
+     * pass) — never per thread or per call — so reports stay
+     * byte-identical at any --jobs count. Recorded in the report
+     * manifest as `weightSparsity`.
+     */
+    double weightSparsity = kDefaultWeightSparsity;
 };
 
 /**
  * Conv layer timing on one architecture: applies the per-layer
  * encoded/conventional selection (conv1 always conventional, the
  * LayerModePolicy otherwise) and dispatches to the closed-form
- * convBaseline/convCnv models. The returned LayerResult carries the
- * node's name.
+ * convBaseline/convCnv/convCnv2 models. The returned LayerResult
+ * carries the node's name.
  *
  * @param counts Per-brick non-zero counts of the layer's input.
+ * @param weightSparsity Cnv2 ineffectual-weight-brick fraction
+ *        (ignored by the other architectures).
  */
-dadiannao::LayerResult convLayerTiming(const dadiannao::NodeConfig &cfg,
-                                       Arch arch, const nn::Node &node,
-                                       const CountMap &counts);
+dadiannao::LayerResult convLayerTiming(
+    const dadiannao::NodeConfig &cfg, Arch arch, const nn::Node &node,
+    const CountMap &counts, double weightSparsity = kDefaultWeightSparsity);
 
 /**
  * Fully-connected layer timing on one architecture: the shared

@@ -117,6 +117,16 @@ EncodedArray::storageBits() const
     return slots_.size() * perNeuron;
 }
 
+std::size_t
+EncodedArray::offsetOnlyStorageBits() const
+{
+    // Offset fields stay fully materialised (one per slot, keeping
+    // bricks directly indexable); values are stored only for the
+    // non-zero neurons.
+    return slots_.size() * static_cast<std::size_t>(offsetBits()) +
+           totalNonZero() * static_cast<std::size_t>(kNeuronBits);
+}
+
 void
 EncodedArray::checkInvariants() const
 {

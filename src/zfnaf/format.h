@@ -17,6 +17,14 @@
  *
  * With 16-neuron bricks the offset field is 4 bits: a 25% capacity
  * overhead on the 16-bit neurons.
+ *
+ * Cnvlutin2 (arXiv 1705.00125) shrinks the layout to an
+ * *offset-only* variant: every brick keeps its brickSize 4-bit
+ * offset fields (so brick slots stay directly indexable), but the
+ * 16-bit value field is stored only for the non-zero neurons —
+ * zero-padding slots carry just the offset. storageBits() accounts
+ * the paper's layout; offsetOnlyStorageBits() accounts the
+ * Cnvlutin2 one. See docs/zfnaf.md for the worked comparison.
  */
 
 #ifndef CNV_ZFNAF_FORMAT_H
@@ -99,6 +107,17 @@ class EncodedArray
      * and offset fields (used by the area model).
      */
     std::size_t storageBits() const;
+
+    /**
+     * Footprint in bits of the same logical content under the
+     * Cnvlutin2 offset-only layout: every slot keeps its offset
+     * field (an unused slot repeats the previous offset, which the
+     * strictly-increasing invariant makes a self-delimiting end
+     * marker), but only the non-zero neurons store a value. Unlike
+     * storageBits() this is content-dependent — it shrinks with the
+     * array's sparsity and is at worst equal to storageBits().
+     */
+    std::size_t offsetOnlyStorageBits() const;
 
     /** Validate all format invariants; panics on violation. */
     void checkInvariants() const;

@@ -44,7 +44,8 @@ TEST(ArchRegistry, UnknownArchIsFatalAndListsKnownIds)
 TEST(ArchRegistry, StableIterationOrder)
 {
     const std::vector<std::string> expected{
-        "dadiannao", "cnv", "cnv-pruned", "cnv-b4", "cnv-b8", "cnv-b32"};
+        "dadiannao", "cnv",    "cnv2",    "cnv-pruned",
+        "cnv-b4",    "cnv-b8", "cnv-b32"};
     EXPECT_EQ(arch::builtin().ids(), expected);
 }
 
@@ -91,7 +92,8 @@ TEST(ArchRegistry, GoldenBitIdenticalToDirectTiming)
         const char *id;
         timing::Arch arch;
     } cases[] = {{"dadiannao", timing::Arch::Baseline},
-                 {"cnv", timing::Arch::Cnv}};
+                 {"cnv", timing::Arch::Cnv},
+                 {"cnv2", timing::Arch::Cnv2}};
     for (const auto &c : cases) {
         const auto direct =
             timing::simulateNetwork(cfg, *net, c.arch, opts);
@@ -138,7 +140,8 @@ TEST(ArchRegistry, PowerParityWithDirectModel)
         const char *id;
         power::Arch arch;
     } cases[] = {{"dadiannao", power::Arch::Baseline},
-                 {"cnv", power::Arch::Cnv}};
+                 {"cnv", power::Arch::Cnv},
+                 {"cnv2", power::Arch::Cnv2}};
     for (const auto &c : cases) {
         const arch::ArchModel &model = arch::builtin().get(c.id);
         const auto run = model.simulateNetwork(cfg, *net, opts);
@@ -183,6 +186,75 @@ TEST(ArchRegistry, ValidateNodeEnforcesSharedInvariants)
     // validator accepts what nodeConfig() produced.
     const arch::ArchModel &b8 = arch::builtin().get("cnv-b8");
     EXPECT_NO_THROW(b8.validateNode(b8.nodeConfig({})));
+}
+
+/** Weight skipping can only remove work on top of CNV's activation
+ *  skipping, so cnv2 is at least as fast on every network at the
+ *  default weight sparsity. */
+TEST(ArchRegistry, Cnv2AtLeastAsFastAsCnv)
+{
+    timing::RunOptions opts;
+    opts.imageSeed = 2016;
+    const arch::ArchModel &cnv = arch::builtin().get("cnv");
+    const arch::ArchModel &cnv2 = arch::builtin().get("cnv2");
+    for (auto id : nn::zoo::allNetworks()) {
+        const auto net = nn::zoo::build(id, 2016);
+        const auto cnvRun = cnv.simulateNetwork({}, *net, opts);
+        const auto cnv2Run = cnv2.simulateNetwork({}, *net, opts);
+        EXPECT_LE(cnv2Run.totalCycles(), cnvRun.totalCycles())
+            << nn::zoo::netName(id);
+    }
+    // On the synthesized (weight-sparse) nets the skipping must
+    // actually bite somewhere, not just tie.
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    EXPECT_LT(cnv2.simulateNetwork({}, *net, opts).totalCycles(),
+              cnv.simulateNetwork({}, *net, opts).totalCycles());
+}
+
+/** With the weight-sparsity knob at zero no weight brick is ever
+ *  ineffectual, and the cnv2 schedule degenerates to cnv's exactly
+ *  — cycles, activity, energy, and stall attribution. */
+TEST(ArchRegistry, Cnv2AtZeroWeightSparsityMatchesCnv)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    timing::RunOptions opts;
+    opts.imageSeed = 2016;
+    opts.weightSparsity = 0.0;
+    const auto cnvRun =
+        arch::builtin().get("cnv").simulateNetwork({}, *net, opts);
+    const auto cnv2Run =
+        arch::builtin().get("cnv2").simulateNetwork({}, *net, opts);
+    EXPECT_EQ(cnv2Run.totalCycles(), cnvRun.totalCycles());
+    const auto a = cnvRun.totalActivity();
+    const auto a2 = cnv2Run.totalActivity();
+    EXPECT_EQ(a2.zero, a.zero);
+    EXPECT_EQ(a2.nonZero, a.nonZero);
+    EXPECT_EQ(a2.stall, a.stall);
+    const auto e = cnvRun.totalEnergy();
+    const auto e2 = cnv2Run.totalEnergy();
+    EXPECT_EQ(e2.sbReads, e.sbReads);
+    EXPECT_EQ(e2.nmReads, e.nmReads);
+    EXPECT_EQ(e2.multOps, e.multOps);
+    const auto m = cnvRun.totalMicro();
+    const auto m2 = cnv2Run.totalMicro();
+    EXPECT_EQ(m2.laneBusyCycles, m.laneBusyCycles);
+    EXPECT_EQ(m2.laneIdleCycles, m.laneIdleCycles);
+}
+
+/** Every idle lane-cycle the cnv2 model reports carries a stall
+ *  reason (the invariant the trace pipeline asserts), and repeated
+ *  runs are deterministic. */
+TEST(ArchRegistry, Cnv2StallAttributionCoversIdleCycles)
+{
+    const auto net = nn::zoo::build(nn::zoo::NetId::Nin, 2016);
+    timing::RunOptions opts;
+    opts.imageSeed = 2016;
+    const arch::ArchModel &cnv2 = arch::builtin().get("cnv2");
+    const auto run = cnv2.simulateNetwork({}, *net, opts);
+    const auto micro = run.totalMicro();
+    EXPECT_EQ(micro.stalls.total(), micro.laneIdleCycles);
+    const auto again = cnv2.simulateNetwork({}, *net, opts);
+    EXPECT_EQ(again.totalCycles(), run.totalCycles());
 }
 
 TEST(ArchRegistry, CnvPrunedDefaultsToUniformThresholds)

@@ -15,6 +15,7 @@
 #include "driver/stats_report.h"
 #include "nn/network.h"
 #include "support/json_parser.h"
+#include "timing/network_model.h"
 
 namespace {
 
@@ -69,6 +70,8 @@ TEST(ReportJson, DocumentParsesWithManifestAndSummary)
     EXPECT_FALSE(manifest.at("nodeConfig").text.empty());
     EXPECT_EQ(manifest.at("images").number, 2.0);
     EXPECT_EQ(manifest.at("seed").number, 7.0);
+    EXPECT_EQ(manifest.at("weightSparsity").number,
+              timing::kDefaultWeightSparsity);
     EXPECT_EQ(manifest.at("wallSeconds").number, 0.25);
 
     const Json &summary = doc.at("summary");
@@ -90,7 +93,7 @@ TEST(ReportJson, MultiArchSelectionKeysEverySection)
     cfg.images = 1;
     cfg.seed = 7;
     nn::Network net = makeNetwork();
-    const auto sel = arch::builtin().select("cnv,cnv-b8");
+    const auto sel = arch::builtin().select("cnv,cnv2,cnv-b8");
     driver::RunReport report = driver::buildRunReport(cfg, net, sel);
 
     std::ostringstream os;
@@ -99,12 +102,17 @@ TEST(ReportJson, MultiArchSelectionKeysEverySection)
 
     const Json &archs = doc.at("architectures");
     ASSERT_TRUE(archs.has("cnv"));
+    ASSERT_TRUE(archs.has("cnv2"));
     ASSERT_TRUE(archs.has("cnv-b8"));
     EXPECT_FALSE(archs.has("dadiannao"));
 
     const Json &summary = doc.at("summary");
     EXPECT_GT(summary.at("archs").at("cnv").at("cycles").number, 0.0);
+    EXPECT_GT(summary.at("archs").at("cnv2").at("cycles").number, 0.0);
     EXPECT_GT(summary.at("archs").at("cnv-b8").at("cycles").number, 0.0);
+    // Weight skipping only removes work relative to cnv.
+    EXPECT_LE(summary.at("archs").at("cnv2").at("cycles").number,
+              summary.at("archs").at("cnv").at("cycles").number);
     // Without the canonical pair there is no legacy trio.
     EXPECT_FALSE(summary.has("baselineCycles"));
     EXPECT_FALSE(summary.has("speedup"));

@@ -60,6 +60,37 @@ TEST(Zfnaf, SixteenNeuronBrickOverheadIs25Percent)
     EXPECT_EQ(enc.storageBits(), conventionalBits * 5 / 4);
 }
 
+TEST(Zfnaf, OffsetOnlyStorageWorkedExample)
+{
+    // docs/zfnaf.md's worked example: one 16-neuron brick with five
+    // non-zero neurons. Paper layout: 16 slots x (16+4) = 320 bits.
+    // Offset-only: 16 offsets x 4 + 5 values x 16 = 144 bits, under
+    // the 256-bit dense brick.
+    NeuronTensor t(1, 1, 16);
+    for (int z : {0, 3, 4, 9, 15})
+        t.at(0, 0, z) = Fixed16::fromRaw(static_cast<std::int16_t>(z + 1));
+    const EncodedArray enc = zfnaf::encode(t, 16);
+    EXPECT_EQ(enc.storageBits(), 320u);
+    EXPECT_EQ(enc.offsetOnlyStorageBits(), 144u);
+}
+
+TEST(Zfnaf, OffsetOnlyStorageBounds)
+{
+    // A fully dense array pays the full paper footprint (every slot
+    // keeps its value), so offset-only == paper layout there; any
+    // zero shrinks it, and it can never exceed storageBits().
+    const NeuronTensor dense = randomSparse(4, 3, 32, 0.0, 21);
+    const EncodedArray full = zfnaf::encode(dense, 16);
+    EXPECT_EQ(full.offsetOnlyStorageBits(), full.storageBits());
+
+    const NeuronTensor sparse = randomSparse(4, 3, 32, 0.6, 22);
+    const EncodedArray enc = zfnaf::encode(sparse, 16);
+    EXPECT_LT(enc.offsetOnlyStorageBits(), enc.storageBits());
+    EXPECT_EQ(enc.offsetOnlyStorageBits(),
+              enc.brickCount() * 16 * 4 +
+                  enc.totalNonZero() * zfnaf::kNeuronBits);
+}
+
 class ZfnafRoundTrip
     : public ::testing::TestWithParam<std::tuple<int, double>>
 {

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Enforce that every built-in architecture id is documented.
+
+Run as the ``arch_docs_coverage`` CTest (see tests/CMakeLists.txt):
+asks the built binary for the registry's ids (``cnvsim archs --ids``,
+one bare id per line) and checks that docs/architectures.md carries a
+reference section for each — a markdown heading whose text contains
+the id in backticks (e.g. ``## `cnv2` — Cnvlutin2``). Registering a
+new architecture without writing its manual section fails the suite,
+which is the point: the registry and the reference manual move
+together.
+
+Also flags the reverse drift: a backticked id in a heading that the
+registry no longer knows about.
+
+Usage: check_arch_docs.py CNVSIM DOCS_MD
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+
+def registry_ids(cnvsim: str) -> list[str]:
+    proc = subprocess.run([cnvsim, "archs", "--ids"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"check_arch_docs: `{cnvsim} archs --ids` failed "
+              f"(exit {proc.returncode}): {proc.stderr}", file=sys.stderr)
+        sys.exit(1)
+    ids = [line.strip() for line in proc.stdout.splitlines()
+           if line.strip()]
+    if not ids:
+        print("check_arch_docs: registry listed no ids", file=sys.stderr)
+        sys.exit(1)
+    return ids
+
+
+def documented_ids(doc: pathlib.Path) -> set[str]:
+    ids: set[str] = set()
+    for line in doc.read_text().splitlines():
+        if not line.startswith("#"):
+            continue
+        ids.update(re.findall(r"`([a-z0-9-]+)`", line))
+    return ids
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cnvsim, doc = argv[1], pathlib.Path(argv[2])
+    if not doc.is_file():
+        print(f"check_arch_docs: missing {doc}", file=sys.stderr)
+        return 1
+
+    ids = registry_ids(cnvsim)
+    documented = documented_ids(doc)
+
+    problems = []
+    for arch_id in ids:
+        if arch_id not in documented:
+            problems.append(f"registry id '{arch_id}' has no section "
+                            f"heading in {doc}")
+    for doc_id in sorted(documented - set(ids)):
+        problems.append(f"{doc} documents '{doc_id}' which is not a "
+                        "registry id (stale section?)")
+
+    for p in problems:
+        print(f"check_arch_docs: {p}", file=sys.stderr)
+    print(f"check_arch_docs: {len(ids)} registry ids, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

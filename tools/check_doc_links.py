@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the markdown docs.
+
+Run as the ``doc_links`` CTest (labelled ``static``, so the CI
+static-checks job picks it up): scans the given markdown files for
+``[text](target)`` links and verifies every relative target resolves
+to an existing file. External links (http/https/mailto) are skipped —
+this is a repo-consistency check, not a web crawler. A ``#fragment``
+on a local target is checked only for the file part; a bare
+``#fragment`` (same-file anchor) is ignored.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# Inline markdown links; images share the syntax with a leading '!'.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems = []
+    in_code_block = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{lineno}: dead link "
+                                f"'{target}' ({resolved} missing)")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    files = [pathlib.Path(a) for a in argv[1:]]
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 2
+    problems = []
+    for f in files:
+        if not f.is_file():
+            problems.append(f"{f}: file not found")
+            continue
+        problems.extend(check_file(f))
+    for p in problems:
+        print(f"check_doc_links: {p}", file=sys.stderr)
+    print(f"check_doc_links: {len(files)} files, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -49,7 +49,7 @@ def main(argv: list[str]) -> int:
         path = outdir / f"report-jobs{jobs}.json"
         proc = subprocess.run(
             [cnvsim, "run", "nin", "--images", "2",
-             "--arch", "dadiannao,cnv,cnv-pruned,cnv-b8",
+             "--arch", "dadiannao,cnv,cnv2,cnv-pruned,cnv-b8",
              "--seed", "2016", "--jobs", str(jobs),
              "--report-json", str(path)],
             capture_output=True, text=True)
