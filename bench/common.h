@@ -32,6 +32,7 @@
 
 #include "driver/driver.h"
 #include "driver/run_manifest.h"
+#include "sim/metrics.h"
 #include "sim/parallel.h"
 #include "sim/stats_export.h"
 #include "sim/table.h"
@@ -68,6 +69,11 @@ parseArgs(int argc, char **argv, int defaultImages = 2)
             args.push_back(a);
         }
     }
+
+    // Benches always profile themselves: the hostProfile block of
+    // their --json artifacts is what the perf-regression gate
+    // compares across the committed BENCH_* trajectory.
+    sim::metrics().setEnabled(true);
 
     Options opts;
     opts.images = defaultImages;
@@ -175,6 +181,7 @@ writeFigureArtifact(const Options &opts, const std::string &figure,
     manifest.nodeConfig = node.describe();
     manifest.images = opts.images;
     manifest.seed = opts.seed;
+    manifest.wallSeconds = sim::metrics().secondsSinceEnable();
 
     sim::JsonWriter w(os);
     w.beginObject();
@@ -184,6 +191,8 @@ writeFigureArtifact(const Options &opts, const std::string &figure,
     manifest.writeJson(w);
     w.key("data");
     sim::exportJson(data, w);
+    w.key("hostProfile");
+    sim::writeHostProfile(sim::metrics().snapshot(), w);
     w.endObject();
     os << '\n';
     std::cout << "wrote JSON artifact to " << opts.json << '\n';

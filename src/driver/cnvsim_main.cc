@@ -38,18 +38,26 @@
  *   --weight-sparsity F  fraction of ineffectual weight bricks the
  *                  cnv2 model skips (0..1, default 0.35); recorded
  *                  in the report manifest, ignored by other archs
+ *   --perf-json PATH     write the host-side telemetry profile
+ *                  (phase timers, pool utilization, trace-cache
+ *                  stats, peak RSS) as a cnv-perf-v1 artifact
+ *   --progress on|off|auto   live stderr progress meter during the
+ *                  image sweep (auto: only when stderr is a TTY)
+ *
+ * Every network command takes its network as a positional argument
+ * (`cnvsim run nin ...`) or via --net (`cnvsim run --net nin ...`).
  *
  * Options accept both "--flag value" and "--flag=value" spellings.
- * The report, trace-event and stall schemas are documented in
+ * The report, trace-event, stall and perf schemas are documented in
  * docs/observability.md.
  */
 
 #include <charconv>
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +65,7 @@
 #include "core/node.h"
 #include "dadiannao/node.h"
 #include "driver/driver.h"
+#include "driver/run_manifest.h"
 #include "driver/stats_report.h"
 #include "driver/trace_pipeline.h"
 #include "nn/trace.h"
@@ -66,7 +75,9 @@
 #include "pruning/explore.h"
 #include "sim/error.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/parallel.h"
+#include "sim/stats_export.h"
 #include "sim/table.h"
 #include "timing/network_model.h"
 #include "timing/trace_cache.h"
@@ -93,6 +104,9 @@ struct CliOptions
     std::size_t maxEvents = sim::TraceSink::kDefaultMaxEvents;
     int jobs = 0; ///< 0 = keep the process default
     double weightSparsity = timing::kDefaultWeightSparsity;
+    std::string perfJson;
+    sim::MetricsRegistry::Progress progress =
+        sim::MetricsRegistry::Progress::Off;
 };
 
 [[noreturn]] void
@@ -107,7 +121,8 @@ usage()
         "            --stats --layers --floor F --report-json PATH\n"
         "            --report-csv PATH --net NAME --trace-out PATH\n"
         "            --stall-csv PATH --max-events N --jobs N\n"
-        "            --weight-sparsity F\n"
+        "            --weight-sparsity F --perf-json PATH\n"
+        "            --progress on|off|auto\n"
         "  archs accepts --ids (bare registry ids, one per line)\n";
     std::exit(2);
 }
@@ -182,6 +197,29 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
             opts.maxEvents = std::stoull(next());
         else if (args[i] == "--jobs")
             opts.jobs = parseJobs(next());
+        else if (args[i] == "--perf-json") {
+            opts.perfJson = next();
+            if (opts.perfJson.empty()) {
+                std::cerr << "cnvsim: invalid value '' for --perf-json "
+                             "(expected an output path)\n";
+                std::exit(2);
+            }
+        }
+        else if (args[i] == "--progress") {
+            const std::string &value = next();
+            if (value == "on")
+                opts.progress = sim::MetricsRegistry::Progress::On;
+            else if (value == "off")
+                opts.progress = sim::MetricsRegistry::Progress::Off;
+            else if (value == "auto")
+                opts.progress = sim::MetricsRegistry::Progress::Auto;
+            else {
+                std::cerr << "cnvsim: invalid value '" << value
+                          << "' for --progress (expected on, off or "
+                             "auto)\n";
+                std::exit(2);
+            }
+        }
         else if (args[i] == "--weight-sparsity") {
             const std::string &value = next();
             opts.weightSparsity = std::stod(value);
@@ -201,6 +239,7 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
     }
     if (opts.jobs > 0)
         sim::setJobCount(opts.jobs);
+    sim::metrics().configureProgress(opts.progress);
     return opts;
 }
 
@@ -216,16 +255,12 @@ selectedArchs(const CliOptions &opts)
 void
 writeReports(const CliOptions &opts, const driver::ExperimentConfig &cfg,
              const nn::Network &net,
-             const std::vector<const arch::ArchModel *> &archs,
-             std::chrono::steady_clock::time_point t0)
+             const std::vector<const arch::ArchModel *> &archs)
 {
     if (opts.reportJson.empty() && opts.reportCsv.empty())
         return;
     driver::RunReport report = driver::buildRunReport(cfg, net, archs);
-    report.manifest.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
+    report.manifest.wallSeconds = sim::metrics().secondsSinceEnable();
     auto open = [](const std::string &path) {
         std::ofstream os(path);
         if (!os)
@@ -242,6 +277,41 @@ writeReports(const CliOptions &opts, const driver::ExperimentConfig &cfg,
         driver::writeReportCsv(report, os);
         std::cout << "wrote CSV report to " << opts.reportCsv << '\n';
     }
+}
+
+/**
+ * Write the standalone cnv-perf-v1 telemetry artifact requested with
+ * --perf-json: the run manifest plus the hostProfile object (same
+ * emitter as the report section). Called once, after the command
+ * body, so phase timers and cache counters cover the whole run.
+ */
+void
+writePerfJson(const CliOptions &opts, const std::string &network)
+{
+    if (opts.perfJson.empty())
+        return;
+    std::ofstream os(opts.perfJson);
+    if (!os)
+        CNV_FATAL("cannot open perf file '{}'", opts.perfJson);
+    driver::RunManifest manifest = driver::makeManifest("cnvsim");
+    manifest.network = network;
+    manifest.nodeConfig = dadiannao::NodeConfig().describe();
+    manifest.images = opts.images;
+    manifest.seed = opts.seed;
+    manifest.weightSparsity = opts.weightSparsity;
+    manifest.wallSeconds = sim::metrics().secondsSinceEnable();
+    sim::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema");
+    w.value("cnv-perf-v1");
+    w.key("manifest");
+    manifest.writeJson(w);
+    w.key("hostProfile");
+    sim::writeHostProfile(sim::metrics().snapshot(), w);
+    w.endObject();
+    w.complete();
+    os << '\n';
+    std::cout << "wrote perf profile to " << opts.perfJson << '\n';
 }
 
 int
@@ -292,13 +362,17 @@ cmdArchs(bool idsOnly)
 int
 cmdRun(nn::zoo::NetId id, const CliOptions &opts)
 {
-    const auto t0 = std::chrono::steady_clock::now();
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
     cfg.weightSparsity = opts.weightSparsity;
-    const auto net = nn::zoo::build(id, cfg.seed);
-    const auto archs = selectedArchs(opts);
+    std::unique_ptr<nn::Network> net;
+    std::vector<const arch::ArchModel *> archs;
+    {
+        const sim::ScopedPhase phase("build");
+        net = nn::zoo::build(id, cfg.seed);
+        archs = selectedArchs(opts);
+    }
     const auto &ref = *archs.front();
 
     // Single-image per-layer timelines, one run per selected arch
@@ -307,6 +381,7 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
     timing::TraceCache cache;
     std::vector<driver::ArchTimeline> timelines;
     if (opts.layers || opts.stats) {
+        const sim::ScopedPhase phase("timing");
         timelines.resize(archs.size());
         sim::parallelMapReduce(
             archs.size(),
@@ -352,8 +427,14 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
         t.print(std::cout);
     }
 
-    const auto report =
-        driver::evaluateNetworkArchs(cfg, *net, archs, nullptr, &cache);
+    driver::NetworkReport report;
+    {
+        const sim::ScopedPhase phase("timing");
+        report =
+            driver::evaluateNetworkArchs(cfg, *net, archs, nullptr, &cache);
+    }
+
+    const sim::ScopedPhase reportPhase("report");
     std::cout << "\n" << net->name() << " over " << cfg.images
               << " image(s):\n";
     sim::Table t({"architecture", "cycles",
@@ -370,7 +451,7 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
         for (const driver::ArchTimeline &tl : timelines)
             driver::buildStats(tl.result, *tl.model)->dump(std::cout);
 
-    writeReports(opts, cfg, *net, archs, t0);
+    writeReports(opts, cfg, *net, archs);
     return 0;
 }
 
@@ -381,11 +462,21 @@ cmdPower(nn::zoo::NetId id, const CliOptions &opts)
     cfg.images = opts.images;
     cfg.seed = opts.seed;
     cfg.weightSparsity = opts.weightSparsity;
-    const auto archs = selectedArchs(opts);
+    std::unique_ptr<nn::Network> net;
+    std::vector<const arch::ArchModel *> archs;
+    {
+        const sim::ScopedPhase phase("build");
+        archs = selectedArchs(opts);
+        net = nn::zoo::build(id, cfg.seed);
+    }
     const auto &ref = *archs.front();
-    const auto net = nn::zoo::build(id, cfg.seed);
-    const auto report = driver::evaluateNetworkArchs(cfg, *net, archs);
+    driver::NetworkReport report;
+    {
+        const sim::ScopedPhase phase("timing");
+        report = driver::evaluateNetworkArchs(cfg, *net, archs);
+    }
 
+    const sim::ScopedPhase powerPhase("power");
     std::vector<power::PowerBreakdown> pw;
     std::vector<power::RunMetrics> mx;
     for (const driver::ArchAggregate &a : report.archs) {
@@ -687,6 +778,9 @@ main(int argc, char **argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty())
         usage();
+    // Telemetry is on for the whole process: every phase timer, pool
+    // lane and cache counter below records against this epoch.
+    sim::metrics().setEnabled(true);
 
     try {
         const std::string &command = args[0];
@@ -694,35 +788,47 @@ main(int argc, char **argv)
             return cmdList();
         if (command == "archs")
             return cmdArchs(args.size() >= 2 && args[1] == "--ids");
-        if (command == "reproduce")
-            return cmdReproduce(parseOptions(args, 1));
-        if (command == "trace" && args.size() >= 2 &&
-            args[1].rfind("--", 0) == 0) {
-            // trace also accepts its network via --net NAME.
+        if (command == "reproduce") {
             const CliOptions opts = parseOptions(args, 1);
+            const int rc = cmdReproduce(opts);
+            writePerfJson(opts, "(all zoo networks)");
+            return rc;
+        }
+
+        // Every remaining command takes a network, positionally
+        // (`run nin`) or via --net (`run --net nin`).
+        CliOptions opts;
+        std::string netName;
+        if (args.size() >= 2 && args[1].rfind("--", 0) != 0) {
+            netName = args[1];
+            opts = parseOptions(args, 2);
+            opts.net = netName;
+        } else {
+            opts = parseOptions(args, 1);
             if (opts.net.empty())
                 usage();
-            return cmdTrace(nn::zoo::netFromName(opts.net), opts);
+            netName = opts.net;
         }
-        if (args.size() < 2)
-            usage();
-        const auto id = nn::zoo::netFromName(args[1]);
-        const CliOptions opts = parseOptions(args, 2);
+        const auto id = nn::zoo::netFromName(netName);
+        int rc = 0;
         if (command == "run")
-            return cmdRun(id, opts);
-        if (command == "power")
-            return cmdPower(id, opts);
-        if (command == "prune")
-            return cmdPrune(id, opts);
-        if (command == "validate")
-            return cmdValidate(id, opts);
-        if (command == "zfnaf")
-            return cmdZfnaf(id, opts);
-        if (command == "export-traces")
-            return cmdExportTraces(id, opts);
-        if (command == "trace")
-            return cmdTrace(id, opts);
-        usage();
+            rc = cmdRun(id, opts);
+        else if (command == "power")
+            rc = cmdPower(id, opts);
+        else if (command == "prune")
+            rc = cmdPrune(id, opts);
+        else if (command == "validate")
+            rc = cmdValidate(id, opts);
+        else if (command == "zfnaf")
+            rc = cmdZfnaf(id, opts);
+        else if (command == "export-traces")
+            rc = cmdExportTraces(id, opts);
+        else if (command == "trace")
+            rc = cmdTrace(id, opts);
+        else
+            usage();
+        writePerfJson(opts, netName);
+        return rc;
     } catch (const sim::FatalError &e) {
         std::cerr << e.what() << '\n';
         return 1;

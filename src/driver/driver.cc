@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/parallel.h"
 #include "timing/network_model.h"
 
@@ -59,6 +60,7 @@ evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
     // Flattened (arch x image) grid; the ordered commit makes the
     // per-arch accumulation order identical to the old serial loop.
     const auto images = static_cast<std::size_t>(cfg.images);
+    sim::metrics().beginProgress(net.name(), archs.size() * images);
     sim::parallelMapReduce(
         archs.size() * images,
         [&](std::size_t g) {
@@ -69,7 +71,9 @@ evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
             opts.prune = prune;
             opts.cache = shared;
             opts.weightSparsity = cfg.weightSparsity;
-            return model->simulateNetwork(cfg.node, net, opts);
+            auto run = model->simulateNetwork(cfg.node, net, opts);
+            sim::metrics().tickProgress();
+            return run;
         },
         [&](std::size_t g, dadiannao::NetworkResult &&run) {
             ArchAggregate &agg = report.archs[g / images];
@@ -77,6 +81,7 @@ evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
             agg.activity += run.totalActivity();
             agg.energy += run.totalEnergy();
         });
+    sim::metrics().endProgress();
     return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include "driver/trace_pipeline.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/parallel.h"
 #include "sim/stats_export.h"
 #include "timing/network_model.h"
@@ -225,6 +226,12 @@ writeReportJson(const RunReport &report, std::ostream &os)
         w.key("speedup").value(report.aggregate.speedup());
     }
     w.endObject();
+
+    // Host-side telemetry (wall-clock only, simulated results are
+    // unaffected); determinism checks strip this block before
+    // comparing reports byte for byte.
+    w.key("hostProfile");
+    sim::writeHostProfile(sim::metrics().snapshot(), w);
 
     w.endObject();
     os << '\n';

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Host-side telemetry: the process-wide metrics registry behind the
+ * `hostProfile` report section and the `cnv-perf-v1` artifact
+ * (docs/observability.md).
+ *
+ * The simulated hardware has been observable since PR 1 (stat trees,
+ * trace events, stall attribution); this registry makes the
+ * *simulator* observable: where wall-clock time goes across the
+ * driver pipeline (RAII phase timers), how the sim::ThreadPool lanes
+ * spend their time (busy/idle/steal counters), how often the
+ * timing::TraceCache hits and what its miss paths cost (fixed-bucket
+ * latency histograms), and the process peak RSS.
+ *
+ * Design rules:
+ *
+ *  - One process-wide registry (metrics()), disabled by default.
+ *    Every mutator checks an atomic enabled flag first, so
+ *    instrumented library code costs one relaxed load when nobody is
+ *    profiling. The cnvsim CLI and the bench binaries enable it at
+ *    startup.
+ *  - All wall-clock reads in the tree go through
+ *    MetricsRegistry::nowNanos() — cnvlint's host-timing rule bans
+ *    std::chrono clocks outside this module, mirroring raw-thread.
+ *  - Recording is thread-safe (one mutex over the maps; entries are
+ *    coarse-grained — whole tasks, layers, cache misses — so the
+ *    lock is not on any per-neuron path) and never affects simulated
+ *    results: determinism tests strip the hostProfile block.
+ */
+
+#ifndef CNV_SIM_METRICS_H
+#define CNV_SIM_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace cnv::sim {
+
+class JsonWriter;
+
+/**
+ * Thread-safe registry of counters, high-water-mark gauges, phase
+ * timers and fixed-bucket latency histograms, plus the live
+ * `--progress` meter. All clock reads flow through nowNanos().
+ */
+class MetricsRegistry
+{
+  public:
+    /** Histogram bucket count: upper bounds are 1us << i. */
+    static constexpr int kHistogramBuckets = 20;
+
+    /** Upper bound (inclusive) of histogram bucket `i`, in ns. */
+    static constexpr std::uint64_t
+    bucketBoundNanos(int i)
+    {
+        return std::uint64_t{1000} << i;
+    }
+
+    /** One latency histogram: count/sum/min/max plus log2 buckets. */
+    struct Histogram
+    {
+        std::uint64_t count = 0;
+        std::uint64_t totalNanos = 0;
+        std::uint64_t minNanos = 0;
+        std::uint64_t maxNanos = 0;
+        /** Samples <= bucketBoundNanos(i), cumulative-exclusive. */
+        std::array<std::uint64_t, kHistogramBuckets> buckets{};
+        /** Samples above the last bucket bound. */
+        std::uint64_t overflow = 0;
+    };
+
+    /** One named phase: accumulated wall time and entry count. */
+    struct Phase
+    {
+        std::uint64_t nanos = 0;
+        std::uint64_t calls = 0;
+    };
+
+    /** Point-in-time copy of everything the registry recorded. */
+    struct Snapshot
+    {
+        bool enabled = false;
+        /** Wall nanoseconds since setEnabled(true). */
+        std::uint64_t sinceEnableNanos = 0;
+        /** Process peak resident set, bytes (0 when unavailable). */
+        std::uint64_t peakRssBytes = 0;
+        std::map<std::string, std::uint64_t> counters;
+        std::map<std::string, std::uint64_t> gauges;
+        std::map<std::string, Phase> phases;
+        std::map<std::string, Histogram> histograms;
+    };
+
+    /** Progress-meter mode: Auto prints only when stderr is a TTY. */
+    enum class Progress { Off, On, Auto };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Whether recording is on (one relaxed atomic load). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Turn recording on (resets all series and stamps the epoch)
+     *  or off (recorded data is kept for late snapshots). */
+    void setEnabled(bool on);
+
+    /** Monotonic wall clock, nanoseconds. The one sanctioned clock
+     *  read in the tree (cnvlint host-timing). */
+    static std::uint64_t nowNanos();
+
+    /** nowNanos() when enabled, 0 otherwise — the idiom
+     *  instrumentation sites use to skip the second clock read and
+     *  the recording call on the disabled path. */
+    std::uint64_t
+    nowIfEnabled() const
+    {
+        return enabled() ? nowNanos() : 0;
+    }
+
+    /** Wall seconds since setEnabled(true); 0 when disabled. */
+    double secondsSinceEnable() const;
+
+    /** Add `delta` to a named monotonic counter. */
+    void add(std::string_view counter, std::uint64_t delta = 1);
+
+    /** Raise a named high-water-mark gauge to at least `value`. */
+    void gaugeMax(std::string_view gauge, std::uint64_t value);
+
+    /** Accumulate one timed entry into a named phase. */
+    void addPhaseNanos(std::string_view phase, std::uint64_t nanos);
+
+    /** Record one latency sample into a named histogram. */
+    void recordNanos(std::string_view histogram, std::uint64_t nanos);
+
+    /** Select the progress-meter mode (default Off). */
+    void configureProgress(Progress mode);
+
+    /** Start a progress span of `totalUnits` work items. */
+    void beginProgress(std::string label, std::uint64_t totalUnits);
+
+    /** Mark `units` items done; prints a rate-limited stderr line
+     *  (units/s, ETA, cache hit rate). Safe from any thread. */
+    void tickProgress(std::uint64_t units = 1);
+
+    /** Finish the span (prints the final line with a newline). */
+    void endProgress();
+
+    /** Copy out everything recorded so far. */
+    Snapshot snapshot() const;
+
+  private:
+    bool progressVisible() const;
+    /** Emit the progress line; caller holds mutex_. */
+    void printProgress(bool final);
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> epochNanos_{0};
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, std::uint64_t> gauges_;
+    std::map<std::string, Phase> phases_;
+    std::map<std::string, Histogram> histograms_;
+
+    Progress progressMode_ = Progress::Off;
+    std::string progressLabel_;
+    std::uint64_t progressTotal_ = 0;
+    std::uint64_t progressDone_ = 0;
+    std::uint64_t progressStartNanos_ = 0;
+    std::uint64_t progressLastPrintNanos_ = 0;
+    bool progressActive_ = false;
+};
+
+/** The process-wide registry every instrumentation site records to. */
+MetricsRegistry &metrics();
+
+/**
+ * RAII phase timer: construction stamps the clock, destruction
+ * accumulates the elapsed wall time into the named phase of the
+ * process-wide registry. No-op while the registry is disabled.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(std::string_view phase)
+        : phase_(phase), startNanos_(metrics().nowIfEnabled())
+    {}
+    ~ScopedPhase()
+    {
+        if (startNanos_ != 0)
+            metrics().addPhaseNanos(
+                phase_, MetricsRegistry::nowNanos() - startNanos_);
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    std::string phase_;
+    std::uint64_t startNanos_ = 0;
+};
+
+/** Peak resident set size of this process in bytes (Linux VmHWM;
+ *  0 on platforms without the procfs interface). */
+std::uint64_t processPeakRssBytes();
+
+/**
+ * Serialize a snapshot as the `hostProfile` JSON object shared by
+ * cnv-report-v1, cnv-perf-v1 and cnv-figure-v1. The writer must be
+ * positioned where a value is legal. Schema: docs/observability.md
+ * (every emitted key is checked against it by cnvlint schema-docs).
+ */
+void writeHostProfile(const MetricsRegistry::Snapshot &snap, JsonWriter &w);
+
+} // namespace cnv::sim
+
+#endif // CNV_SIM_METRICS_H

@@ -3,6 +3,12 @@
  * ThreadPool implementation plus the process-wide pool
  * configuration (setJobCount / CNVSIM_JOBS). See parallel.h for the
  * determinism and nesting guarantees.
+ *
+ * Every lane (the participating caller and each worker) charges its
+ * task wall time, idle time and task count to the process-wide
+ * MetricsRegistry under `pool.<lane>.*`, so the hostProfile report
+ * section can show per-worker utilization. All of it is gated on
+ * metrics().enabled() and never affects scheduling or results.
  */
 
 #include "sim/parallel.h"
@@ -15,6 +21,7 @@
 #include <limits>
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 
 namespace cnv::sim {
 
@@ -37,12 +44,32 @@ struct ThreadPool::Batch
     std::exception_ptr firstError;
 };
 
+/**
+ * Pre-built metric names for one lane, so the per-task record is a
+ * map update, not repeated string assembly. Workers additionally
+ * count toward pool.stolenTasks (work not run by its submitter).
+ */
+struct ThreadPool::LaneMetrics
+{
+    LaneMetrics(const std::string &lane, bool isWorker)
+        : busyKey("pool." + lane + ".busyNanos"),
+          idleKey("pool." + lane + ".idleNanos"),
+          tasksKey("pool." + lane + ".tasks"),
+          worker(isWorker)
+    {}
+
+    std::string busyKey;
+    std::string idleKey;
+    std::string tasksKey;
+    bool worker;
+};
+
 ThreadPool::ThreadPool(int jobs)
 {
     jobs_ = jobs > 0 ? jobs : defaultJobCount();
     workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
     for (int i = 0; i + 1 < jobs_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -57,16 +84,24 @@ ThreadPool::~ThreadPool()
 }
 
 bool
-ThreadPool::runOneTask(Batch &batch)
+ThreadPool::runOneTask(Batch &batch, const LaneMetrics &lane)
 {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.n)
         return false;
+    const std::uint64_t t0 = metrics().nowIfEnabled();
     std::exception_ptr error;
     try {
         (*batch.fn)(i);
     } catch (...) {
         error = std::current_exception();
+    }
+    if (t0 != 0) {
+        MetricsRegistry &m = metrics();
+        m.add(lane.busyKey, MetricsRegistry::nowNanos() - t0);
+        m.add(lane.tasksKey, 1);
+        if (lane.worker)
+            m.add("pool.stolenTasks", 1);
     }
     {
         const std::lock_guard<std::mutex> lock(batch.m);
@@ -82,18 +117,24 @@ ThreadPool::runOneTask(Batch &batch)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    const LaneMetrics lane("worker" + std::to_string(index),
+                           /*isWorker=*/true);
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            const std::uint64_t idle0 = metrics().nowIfEnabled();
             wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (idle0 != 0)
+                metrics().add(lane.idleKey,
+                              MetricsRegistry::nowNanos() - idle0);
             if (queue_.empty())
                 return; // stop_ set and nothing left to help with
             batch = queue_.front();
         }
-        if (!runOneTask(*batch)) {
+        if (!runOneTask(*batch, lane)) {
             // Exhausted: drop it from the queue if still at the front.
             const std::lock_guard<std::mutex> lock(mutex_);
             if (!queue_.empty() && queue_.front() == batch)
@@ -107,9 +148,16 @@ ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
 {
     if (n == 0)
         return;
+    const LaneMetrics caller("caller", /*isWorker=*/false);
     if (jobs_ == 1 || n == 1) {
+        const std::uint64_t t0 = metrics().nowIfEnabled();
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
+        if (t0 != 0) {
+            MetricsRegistry &m = metrics();
+            m.add(caller.busyKey, MetricsRegistry::nowNanos() - t0);
+            m.add(caller.tasksKey, n);
+        }
         return;
     }
     auto batch = std::make_shared<Batch>();
@@ -118,17 +166,22 @@ ThreadPool::forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(batch);
+        metrics().gaugeMax("pool.queueDepthMax", queue_.size());
     }
     wake_.notify_all();
     // The submitter drains its own batch, so even if every worker is
     // busy elsewhere (or the pool is nested) this loop alone
     // guarantees completion.
-    while (runOneTask(*batch)) {
+    while (runOneTask(*batch, caller)) {
     }
     {
         std::unique_lock<std::mutex> lock(batch->m);
+        const std::uint64_t idle0 = metrics().nowIfEnabled();
         batch->done.wait(lock,
                          [&batch] { return batch->finished == batch->n; });
+        if (idle0 != 0)
+            metrics().add(caller.idleKey,
+                          MetricsRegistry::nowNanos() - idle0);
     }
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -169,7 +222,7 @@ void
 setJobCount(int jobs)
 {
     if (jobs < 1)
-        CNV_FATAL("job count must be >= 1 (got %d)", jobs);
+        CNV_FATAL("job count must be >= 1 (got {})", jobs);
     const std::lock_guard<std::mutex> lock(g_poolMutex);
     g_jobCount.store(jobs, std::memory_order_relaxed);
     g_pool.reset(); // rebuilt lazily with the new lane count

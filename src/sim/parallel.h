@@ -71,10 +71,12 @@ class ThreadPool
 
   private:
     struct Batch;
+    struct LaneMetrics;
 
-    void workerLoop();
-    /** Claim and run one task of `batch`; false when exhausted. */
-    bool runOneTask(Batch &batch);
+    void workerLoop(int index);
+    /** Claim and run one task of `batch`, charging its wall time to
+     *  `lane`'s telemetry counters; false when exhausted. */
+    bool runOneTask(Batch &batch, const LaneMetrics &lane);
 
     std::vector<std::thread> workers_;
     std::deque<std::shared_ptr<Batch>> queue_; ///< guarded by mutex_

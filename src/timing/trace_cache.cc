@@ -4,6 +4,7 @@
 
 #include "nn/trace.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "zfnaf/format.h"
 
 namespace cnv::timing {
@@ -48,9 +49,15 @@ TraceCache::convInput(const nn::Network &net, int convNodeId,
     const std::lock_guard<std::mutex> lock(slot->m);
     if (slot->value) {
         tensorHits_.fetch_add(1, std::memory_order_relaxed);
+        sim::metrics().add("traceCache.tensorHits");
         return slot->value;
     }
     tensorMisses_.fetch_add(1, std::memory_order_relaxed);
+    sim::metrics().add("traceCache.tensorMisses");
+    // The miss path is the synthesis (or trace-load) cost every
+    // other lookup of this key amortizes; its latency distribution
+    // feeds hostProfile.traceCache.synthesis.
+    const std::uint64_t t0 = sim::metrics().nowIfEnabled();
     std::optional<tensor::NeuronTensor> external;
     if (traces)
         external = traces->convInput(net, convNodeId, imageSeed);
@@ -58,6 +65,10 @@ TraceCache::convInput(const nn::Network &net, int convNodeId,
         external ? std::move(*external)
                  : nn::synthesizeConvInput(net, convNodeId, imageSeed,
                                            nullptr));
+    if (t0 != 0)
+        sim::metrics().recordNanos(
+            "traceCache.synthesis",
+            sim::MetricsRegistry::nowNanos() - t0);
     return slot->value;
 }
 
@@ -79,11 +90,17 @@ TraceCache::countMap(const nn::Network &net, int convNodeId,
     const std::lock_guard<std::mutex> lock(slot->m);
     if (slot->value) {
         countHits_.fetch_add(1, std::memory_order_relaxed);
+        sim::metrics().add("traceCache.countMapHits");
         return slot->value;
     }
     countMisses_.fetch_add(1, std::memory_order_relaxed);
+    sim::metrics().add("traceCache.countMapMisses");
     const std::shared_ptr<const tensor::NeuronTensor> unpruned =
         convInput(net, convNodeId, imageSeed, traces);
+    // Timed after the nested tensor lookup so the encode histogram
+    // (hostProfile.traceCache.encode) measures only the prune +
+    // non-zero-count work, not a first-touch synthesis underneath.
+    const std::uint64_t t0 = sim::metrics().nowIfEnabled();
     if (prune) {
         tensor::NeuronTensor pruned = *unpruned;
         nn::applyPruneToConvInput(net, convNodeId, pruned, *prune);
@@ -93,6 +110,9 @@ TraceCache::countMap(const nn::Network &net, int convNodeId,
         slot->value = std::make_shared<const CountMap>(
             zfnaf::nonZeroCountMap(*unpruned, brickSize));
     }
+    if (t0 != 0)
+        sim::metrics().recordNanos("traceCache.encode",
+                                   sim::MetricsRegistry::nowNanos() - t0);
     return slot->value;
 }
 

@@ -14,6 +14,7 @@
 #include "arch/registry.h"
 #include "driver/stats_report.h"
 #include "nn/network.h"
+#include "sim/metrics.h"
 #include "support/json_parser.h"
 #include "timing/network_model.h"
 
@@ -164,6 +165,41 @@ TEST(ReportJson, BothArchitecturesCarryPerLayerTimelines)
         encoderBricks += layer.at("groups").at("micro").at("stats")
                              .at("encoderBricks").at("value").number;
     EXPECT_GT(encoderBricks, 0.0);
+}
+
+TEST(ReportJson, HostProfileConfinesAllHostTimings)
+{
+    // With telemetry recording, the report gains a hostProfile block
+    // — and ONLY that block may differ between two serializations of
+    // the same results (host timings are wall-clock, results are
+    // deterministic).
+    sim::metrics().setEnabled(true);
+    const driver::RunReport report = makeReport();
+    std::ostringstream os1, os2;
+    driver::writeReportJson(report, os1);
+    {
+        const sim::ScopedPhase phase("extraPhase");
+    }
+    driver::writeReportJson(report, os2);
+    sim::metrics().setEnabled(false);
+
+    const std::string a = os1.str(), b = os2.str();
+    const std::size_t cutA = a.find("\"hostProfile\"");
+    const std::size_t cutB = b.find("\"hostProfile\"");
+    ASSERT_NE(cutA, std::string::npos);
+    ASSERT_NE(cutB, std::string::npos);
+    EXPECT_EQ(a.substr(0, cutA), b.substr(0, cutB));
+
+    const Json doc = Parser(a).parse();
+    const Json &hp = doc.at("hostProfile");
+    EXPECT_GE(hp.at("totalSeconds").number, 0.0);
+    ASSERT_TRUE(hp.has("phases"));
+    ASSERT_TRUE(hp.has("traceCache"));
+    // The simulated-results sections must not embed host timings:
+    // every wall-clock key lives after the hostProfile cut.
+    for (const char *key : {"busySeconds", "phaseCoverage",
+                            "peakRssBytes", "totalSeconds"})
+        EXPECT_GE(a.find(key), cutA) << key;
 }
 
 TEST(ReportCsv, RowsCoverManifestStatsAndSummary)

@@ -8,9 +8,14 @@ shape the docs promise — ``schema`` is ``cnv-figure-v1``, the
 ``figure`` name and provenance ``manifest`` are present, and the
 ``data`` stat tree is non-empty. Optional ``--require KEY`` arguments
 assert that a named stat appears somewhere in the tree (used to pin
-the cnv2 columns into the committed figure).
+the cnv2 columns into the committed figure). With ``--host-profile``
+the artifact must additionally carry a populated ``hostProfile``
+block (docs/observability.md, "Host telemetry"): positive
+``totalSeconds``, at least one trace-cache tensor miss, and a
+non-empty worker table — the fields the perf-regression gate reads.
 
 Usage: check_bench_artifact.py ARTIFACT.json [--require KEY ...]
+                               [--host-profile]
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ def main(argv: list[str]) -> int:
     path = pathlib.Path(argv[1])
     required = [argv[i + 1] for i, a in enumerate(argv)
                 if a == "--require" and i + 1 < len(argv)]
+    check_host_profile = "--host-profile" in argv
 
     try:
         doc = json.loads(path.read_text())
@@ -69,6 +75,23 @@ def main(argv: list[str]) -> int:
     for key in required:
         if key not in keys:
             problems.append(f"required stat '{key}' absent from data")
+
+    if check_host_profile:
+        hp = doc.get("hostProfile")
+        if not isinstance(hp, dict):
+            problems.append("missing 'hostProfile' object")
+        else:
+            if not hp.get("totalSeconds", 0) > 0:
+                problems.append("hostProfile.totalSeconds is not > 0")
+            cache = hp.get("traceCache", {})
+            if not cache.get("tensorMisses", 0) > 0:
+                problems.append(
+                    "hostProfile.traceCache.tensorMisses is not > 0")
+            if "hitRate" not in cache:
+                problems.append("hostProfile.traceCache.hitRate missing")
+            workers = hp.get("pool", {}).get("workers", {})
+            if not workers:
+                problems.append("hostProfile.pool.workers is empty")
 
     for p in problems:
         print(f"check_bench_artifact: {path}: {p}", file=sys.stderr)

@@ -2,7 +2,7 @@
 """cnvlint — Cnvlutin-specific invariants no generic linter can know.
 
 Run as a CTest check (see tests/CMakeLists.txt) from the repository
-root, or pass the root as the first argument. Seven rules over
+root, or pass the root as the first argument. Eight rules over
 ``src/**``:
 
   magic-16      The brick/lane/unit/filter/bank geometry of the paper
@@ -44,6 +44,12 @@ root, or pass the root as the first argument. Seven rules over
                 ``src/sim/parallel.cc`` — ad-hoc threads would bypass
                 the --jobs limit and the ordered-commit determinism
                 guarantee.
+  host-timing   All host wall-clock reads go through the metrics
+                registry (``sim::MetricsRegistry::nowNanos()``), so
+                the ``std::chrono`` clocks are banned outside
+                ``src/sim/metrics.h`` / ``src/sim/metrics.cc`` —
+                scattered clock reads would fragment the telemetry
+                the hostProfile section reports.
 
 Suppressions: append ``// cnvlint: allow(<rule>)`` (with an optional
 — justification) to the offending line or the line directly above
@@ -72,7 +78,11 @@ ERROR_STYLE_ALLOWLIST = {
     "src/driver/cnvsim_main.cc": {"exit"},
 }
 
-SCHEMA_SOURCES = ("src/sim/stats_export.cc", "src/sim/trace_event.cc")
+SCHEMA_SOURCES = (
+    "src/sim/stats_export.cc",
+    "src/sim/trace_event.cc",
+    "src/sim/metrics.cc",
+)
 SCHEMA_DOC = "docs/observability.md"
 
 # Directories where the timing/power Arch enums are legitimately
@@ -85,9 +95,18 @@ RAW_THREAD_FILE_ALLOWLIST = {
     "src/sim/parallel.cc",
 }
 
+# The one module allowed to read the host clock: the metrics registry.
+HOST_TIMING_FILE_ALLOWLIST = {
+    "src/sim/metrics.h",
+    "src/sim/metrics.cc",
+}
+
 SUPPRESS = re.compile(r"cnvlint:\s*allow\(([a-z0-9-]+)\)")
 ARCH_ENUM = re.compile(r"\b(?:timing|power)::Arch\b")
 RAW_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
+HOST_TIMING = re.compile(
+    r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)\b"
+)
 BARE_16 = re.compile(r"(?<![\w.])16(?![\w.])")
 ERROR_CALLS = re.compile(r"(?<![\w:.])(assert|abort|exit)\s*\(")
 BANNED_CASTS = re.compile(r"\b(reinterpret_cast|const_cast)\b")
@@ -240,6 +259,24 @@ class Linter:
                 "limit and the determinism guarantee hold",
             )
 
+    def check_host_timing(self, path: Path, lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        if rel in HOST_TIMING_FILE_ALLOWLIST:
+            return
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            m = HOST_TIMING.search(code)
+            if not m:
+                continue
+            if self.suppressed(lines, idx, "host-timing"):
+                continue
+            self.report(
+                path, idx + 1, "host-timing",
+                f"std::chrono::{m.group(1)} outside src/sim/metrics.* "
+                "— read the clock through sim::MetricsRegistry::"
+                "nowNanos() so all host telemetry shares one epoch",
+            )
+
     def check_schema_docs(self) -> None:
         doc_path = self.root / SCHEMA_DOC
         if not doc_path.is_file():
@@ -281,6 +318,7 @@ class Linter:
             self.check_cast_ban(path, lines)
             self.check_arch_dispatch(path, lines)
             self.check_raw_thread(path, lines)
+            self.check_host_timing(path, lines)
             if path.suffix == ".h":
                 self.check_include_guard(path, raw)
         self.check_schema_docs()

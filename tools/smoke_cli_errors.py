@@ -16,6 +16,8 @@ Cases:
   * unwritable report path -> exit 1, "fatal:" + the path on stderr
   * non-numeric --jobs     -> exit 2, diagnostic on stderr
   * zero --jobs            -> exit 2, diagnostic on stderr
+  * bad --progress value   -> exit 2, diagnostic on stderr
+  * empty --perf-json path -> exit 2, diagnostic on stderr
 
 With ``--bench BENCH`` a bench binary's shared argument parser
 (bench/common.h) is smoked too:
@@ -94,8 +96,15 @@ def main(argv: list[str]) -> int:
     expect("zero --jobs",
            run(cnvsim, "run", "nin", "--images", "1", "--jobs", "0"),
            2, ["invalid value", "--jobs"])
+    expect("bad --progress value",
+           run(cnvsim, "run", "nin", "--images", "1",
+               "--progress", "bogus"),
+           2, ["invalid value", "--progress"])
+    expect("empty --perf-json path",
+           run(cnvsim, "run", "nin", "--images", "1", "--perf-json", ""),
+           2, ["invalid value", "--perf-json"])
 
-    cases = 8
+    cases = 10
     if bench is not None:
         expect("bench non-numeric --images",
                run(bench, "--images", "notanumber"),

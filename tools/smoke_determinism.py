@@ -4,14 +4,18 @@
 Run as the ``cnvsim_determinism`` CTest (see tests/CMakeLists.txt):
 executes the same ``cnvsim run --report-json`` experiment with
 ``--jobs 1`` and ``--jobs 4`` and asserts the two reports are
-byte-identical apart from the lines carrying the manifest's ``jobs``
-field and the ``wallSeconds`` timing — the contract documented in
-docs/architecture.md ("Threading model and determinism"): every
-result, stat tree, and cache counter must be invariant under the
-worker-pool size.
+byte-identical apart from the ``hostProfile`` block (wall-clock host
+telemetry, volatile by nature) and the lines carrying the manifest's
+``jobs`` field and the ``wallSeconds`` timing — the contract
+documented in docs/architecture.md ("Threading model and
+determinism"): every result, stat tree, and cache counter must be
+invariant under the worker-pool size.
 
-The JSON writer emits one key per line, so filtering whole lines
-containing the two volatile keys is exact, not heuristic.
+The JSON writer emits one key per line, so dropping the brace-
+balanced ``hostProfile`` block and then filtering whole lines
+containing the two volatile keys is exact, not heuristic. (String
+values never contain braces in these reports, so brace counting is
+safe.)
 
 Usage: smoke_determinism.py CNVSIM OUTDIR
 """
@@ -24,8 +28,31 @@ import sys
 
 VOLATILE_KEYS = ('"jobs"', '"wallSeconds"')
 
+def strip_host_profile(lines: list[str], path: pathlib.Path) -> list[str]:
+    """Drop the whole "hostProfile": { ... } block (exactly one)."""
+    kept: list[str] = []
+    depth = 0
+    found = False
+    for line in lines:
+        if depth > 0:
+            depth += line.count("{") - line.count("}")
+            if depth <= 0:
+                depth = 0
+            continue
+        if '"hostProfile"' in line:
+            found = True
+            depth = line.count("{") - line.count("}")
+            continue
+        kept.append(line)
+    if not found:
+        print(f"smoke_determinism: no hostProfile block in {path} — "
+              "did the report schema change?", file=sys.stderr)
+        sys.exit(1)
+    return kept
+
+
 def report_lines(path: pathlib.Path) -> list[str]:
-    lines = path.read_text().splitlines()
+    lines = strip_host_profile(path.read_text().splitlines(), path)
     kept = [l for l in lines
             if not any(key in l for key in VOLATILE_KEYS)]
     dropped = len(lines) - len(kept)
