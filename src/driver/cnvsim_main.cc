@@ -124,6 +124,7 @@ usage()
         "            --weight-sparsity F --perf-json PATH\n"
         "            --progress on|off|auto\n"
         "  archs accepts --ids (bare registry ids, one per line)\n";
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     std::exit(2);
 }
 
@@ -142,6 +143,7 @@ parseJobs(const std::string &value)
     if (ec != std::errc() || ptr != end || jobs < 1) {
         std::cerr << "cnvsim: invalid value '" << value
                   << "' for --jobs (expected an integer >= 1)\n";
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         std::exit(2);
     }
     return jobs;
@@ -202,6 +204,7 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
             if (opts.perfJson.empty()) {
                 std::cerr << "cnvsim: invalid value '' for --perf-json "
                              "(expected an output path)\n";
+                // NOLINTNEXTLINE(concurrency-mt-unsafe)
                 std::exit(2);
             }
         }
@@ -217,6 +220,7 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
                 std::cerr << "cnvsim: invalid value '" << value
                           << "' for --progress (expected on, off or "
                              "auto)\n";
+                // NOLINTNEXTLINE(concurrency-mt-unsafe)
                 std::exit(2);
             }
         }
@@ -227,6 +231,7 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
                 std::cerr << "cnvsim: invalid value '" << value
                           << "' for --weight-sparsity (expected a "
                              "fraction in [0, 1])\n";
+                // NOLINTNEXTLINE(concurrency-mt-unsafe)
                 std::exit(2);
             }
         }

@@ -55,6 +55,10 @@ Network::addNode(Node n)
             CNV_FATAL("node '{}' references unknown input {}", n.name, in);
     }
     nodes_.push_back(std::move(n));
+    // Graph construction is single-threaded by contract, but the
+    // parameter slots are lock-guarded state, so take the mutex for
+    // the appends rather than exempting them from the analysis.
+    const core::MutexLock lock(materializeMutex_.m);
     weights_.emplace_back();
     biases_.emplace_back();
     materialized_.push_back(false);
@@ -170,9 +174,8 @@ Network::totalConvMacs() const
 }
 
 void
-Network::materialize(int id) const
+Network::materializeLocked(int id) const
 {
-    const std::lock_guard<std::mutex> lock(materializeMutex_.m);
     if (materialized_[id])
         return;
     const Node &n = nodes_[id];
@@ -209,14 +212,21 @@ Network::materialize(int id) const
 const FilterBank &
 Network::weightsOf(int id) const
 {
-    materialize(id);
+    // One critical section covers materialisation and the read
+    // (previously the lock was dropped between the two, which the
+    // thread-safety analysis rejects). The returned reference is
+    // safe after unlock: a materialised entry is never written
+    // again.
+    const core::MutexLock lock(materializeMutex_.m);
+    materializeLocked(id);
     return weights_[id];
 }
 
 const std::vector<Fixed16> &
 Network::biasOf(int id) const
 {
-    materialize(id);
+    const core::MutexLock lock(materializeMutex_.m);
+    materializeLocked(id);
     return biases_[id];
 }
 
@@ -379,6 +389,11 @@ Network::calibrate()
         for (int in : n.inputs)
             ++uses[in];
 
+    // Calibration rewrites weights_/biases_ in place, so the whole
+    // node sweep runs under the materialize mutex (calibrate is a
+    // setup-phase call; nothing else runs concurrently, but the
+    // lock discipline is machine-checked either way).
+    const core::MutexLock lock(materializeMutex_.m);
     for (int id = 0; id < nodeCount(); ++id) {
         Node &n = nodes_[id];
         Batch out(kSamples);
@@ -387,7 +402,7 @@ Network::calibrate()
             out = inputBatch;
             break;
           case NodeKind::Conv: {
-            materialize(id);
+            materializeLocked(id);
             // Pre-activations with zero bias, no ReLU.
             ConvParams raw = n.conv;
             raw.relu = false;
@@ -426,7 +441,7 @@ Network::calibrate()
             break;
           }
           case NodeKind::Fc: {
-            materialize(id);
+            materializeLocked(id);
             FcParams raw = n.fc;
             raw.relu = false;
             std::vector<Fixed16> zeroBias(n.fc.outputs, Fixed16{});

@@ -15,11 +15,11 @@
 #ifndef CNV_NN_NETWORK_H
 #define CNV_NN_NETWORK_H
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
 #include "nn/layer.h"
 #include "sim/rng.h"
 #include "tensor/neuron_tensor.h"
@@ -164,7 +164,10 @@ class Network
 
   private:
     int addNode(Node n);
-    void materialize(int id) const;
+    /** Generate node `id`'s weights/biases if not yet done. Callers
+     *  hold the materialize mutex (proved by -Wthread-safety). */
+    void materializeLocked(int id) const
+        CNV_REQUIRES(materializeMutex_.m);
 
     std::string name_;
     std::uint64_t seed_;
@@ -183,12 +186,15 @@ class Network
         MemberMutex(MemberMutex &&) noexcept {}
         MemberMutex &operator=(const MemberMutex &) { return *this; }
         MemberMutex &operator=(MemberMutex &&) noexcept { return *this; }
-        std::mutex m;
+        core::Mutex m;
     };
     mutable MemberMutex materializeMutex_;
-    mutable std::vector<tensor::FilterBank> weights_;
-    mutable std::vector<std::vector<tensor::Fixed16>> biases_;
-    mutable std::vector<bool> materialized_;
+    mutable std::vector<tensor::FilterBank> weights_
+        CNV_GUARDED_BY(materializeMutex_.m);
+    mutable std::vector<std::vector<tensor::Fixed16>> biases_
+        CNV_GUARDED_BY(materializeMutex_.m);
+    mutable std::vector<bool> materialized_
+        CNV_GUARDED_BY(materializeMutex_.m);
 };
 
 } // namespace cnv::nn

@@ -51,7 +51,7 @@ stderrIsTty()
 void
 MetricsRegistry::setEnabled(bool on)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     if (on) {
         counters_.clear();
         gauges_.clear();
@@ -85,7 +85,7 @@ MetricsRegistry::add(std::string_view counter, std::uint64_t delta)
 {
     if (!enabled())
         return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     counters_[std::string(counter)] += delta;
 }
 
@@ -94,7 +94,7 @@ MetricsRegistry::gaugeMax(std::string_view gauge, std::uint64_t value)
 {
     if (!enabled())
         return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     std::uint64_t &slot = gauges_[std::string(gauge)];
     if (value > slot)
         slot = value;
@@ -105,7 +105,7 @@ MetricsRegistry::addPhaseNanos(std::string_view phase, std::uint64_t nanos)
 {
     if (!enabled())
         return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     Phase &p = phases_[std::string(phase)];
     p.nanos += nanos;
     p.calls += 1;
@@ -117,7 +117,7 @@ MetricsRegistry::recordNanos(std::string_view histogram,
 {
     if (!enabled())
         return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     Histogram &h = histograms_[std::string(histogram)];
     if (h.count == 0 || nanos < h.minNanos)
         h.minNanos = nanos;
@@ -148,14 +148,14 @@ MetricsRegistry::progressVisible() const
 void
 MetricsRegistry::configureProgress(Progress mode)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     progressMode_ = mode;
 }
 
 void
 MetricsRegistry::beginProgress(std::string label, std::uint64_t totalUnits)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     progressLabel_ = std::move(label);
     progressTotal_ = totalUnits;
     progressDone_ = 0;
@@ -167,7 +167,7 @@ MetricsRegistry::beginProgress(std::string label, std::uint64_t totalUnits)
 void
 MetricsRegistry::tickProgress(std::uint64_t units)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     if (!progressActive_)
         return;
     progressDone_ += units;
@@ -183,7 +183,7 @@ MetricsRegistry::tickProgress(std::uint64_t units)
 void
 MetricsRegistry::endProgress()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     if (!progressActive_)
         return;
     progressActive_ = false;
@@ -247,7 +247,7 @@ MetricsRegistry::snapshot() const
 {
     Snapshot snap;
     snap.peakRssBytes = processPeakRssBytes();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     snap.enabled = enabled();
     if (snap.enabled)
         snap.sinceEnableNanos =

@@ -35,9 +35,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "core/sync.h"
 
 namespace cnv::sim {
 
@@ -158,25 +159,25 @@ class MetricsRegistry
     Snapshot snapshot() const;
 
   private:
-    bool progressVisible() const;
+    bool progressVisible() const CNV_REQUIRES(mutex_);
     /** Emit the progress line; caller holds mutex_. */
-    void printProgress(bool final);
+    void printProgress(bool final) CNV_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
+    mutable core::Mutex mutex_;
     std::atomic<bool> enabled_{false};
     std::atomic<std::uint64_t> epochNanos_{0};
-    std::map<std::string, std::uint64_t> counters_;
-    std::map<std::string, std::uint64_t> gauges_;
-    std::map<std::string, Phase> phases_;
-    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, std::uint64_t> counters_ CNV_GUARDED_BY(mutex_);
+    std::map<std::string, std::uint64_t> gauges_ CNV_GUARDED_BY(mutex_);
+    std::map<std::string, Phase> phases_ CNV_GUARDED_BY(mutex_);
+    std::map<std::string, Histogram> histograms_ CNV_GUARDED_BY(mutex_);
 
-    Progress progressMode_ = Progress::Off;
-    std::string progressLabel_;
-    std::uint64_t progressTotal_ = 0;
-    std::uint64_t progressDone_ = 0;
-    std::uint64_t progressStartNanos_ = 0;
-    std::uint64_t progressLastPrintNanos_ = 0;
-    bool progressActive_ = false;
+    Progress progressMode_ CNV_GUARDED_BY(mutex_) = Progress::Off;
+    std::string progressLabel_ CNV_GUARDED_BY(mutex_);
+    std::uint64_t progressTotal_ CNV_GUARDED_BY(mutex_) = 0;
+    std::uint64_t progressDone_ CNV_GUARDED_BY(mutex_) = 0;
+    std::uint64_t progressStartNanos_ CNV_GUARDED_BY(mutex_) = 0;
+    std::uint64_t progressLastPrintNanos_ CNV_GUARDED_BY(mutex_) = 0;
+    bool progressActive_ CNV_GUARDED_BY(mutex_) = false;
 };
 
 /** The process-wide registry every instrumentation site records to. */

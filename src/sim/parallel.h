@@ -25,17 +25,18 @@
 #ifndef CNV_SIM_PARALLEL_H
 #define CNV_SIM_PARALLEL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "core/sync.h"
+#include "sim/logging.h"
 
 namespace cnv::sim {
 
@@ -65,24 +66,27 @@ class ThreadPool
      * Run fn(i) for every i in [0, n), blocking until all complete.
      * The caller claims tasks itself while waiting, so calling this
      * from inside a task (nested parallelism) is safe. Rethrows the
-     * lowest-index task exception after the batch drains.
+     * lowest-index task exception after the batch drains. Must not
+     * be called while holding the pool's internal mutex (enforced by
+     * the thread-safety analysis via CNV_EXCLUDES).
      */
-    void forEach(std::size_t n, const std::function<void(std::size_t)> &fn);
+    void forEach(std::size_t n, const std::function<void(std::size_t)> &fn)
+        CNV_EXCLUDES(mutex_);
 
   private:
     struct Batch;
     struct LaneMetrics;
 
-    void workerLoop(int index);
+    void workerLoop(int index) CNV_EXCLUDES(mutex_);
     /** Claim and run one task of `batch`, charging its wall time to
      *  `lane`'s telemetry counters; false when exhausted. */
     bool runOneTask(Batch &batch, const LaneMetrics &lane);
 
     std::vector<std::thread> workers_;
-    std::deque<std::shared_ptr<Batch>> queue_; ///< guarded by mutex_
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stop_ = false; ///< guarded by mutex_
+    core::Mutex mutex_;
+    core::ConditionVariable wake_;
+    std::deque<std::shared_ptr<Batch>> queue_ CNV_GUARDED_BY(mutex_);
+    bool stop_ CNV_GUARDED_BY(mutex_) = false;
     int jobs_ = 1;
 };
 
@@ -138,8 +142,16 @@ parallelMapReduce(ThreadPool &pool, std::size_t n, Map &&map,
     std::vector<std::optional<Result>> results(n);
     parallelFor(pool, n,
                 [&](std::size_t i) { results[i].emplace(map(i)); });
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
+        // parallelFor rethrows any task exception before we get
+        // here, so every slot is populated; the check keeps the
+        // optional access provably guarded (clang-tidy
+        // bugprone-unchecked-optional-access) and turns a broken
+        // invariant into a diagnosable panic instead of UB.
+        if (!results[i])
+            CNV_PANIC("parallelMapReduce: task {} committed no result", i);
         reduce(i, std::move(*results[i]));
+    }
 }
 
 /** parallelMapReduce on the process-wide pool. */

@@ -40,13 +40,13 @@ TraceCache::convInput(const nn::Network &net, int convNodeId,
 {
     std::shared_ptr<Slot<tensor::NeuronTensor>> slot;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const core::MutexLock lock(mutex_);
         auto &entry = tensors_[tensorKey(net, convNodeId, imageSeed)];
         if (!entry)
             entry = std::make_shared<Slot<tensor::NeuronTensor>>();
         slot = entry;
     }
-    const std::lock_guard<std::mutex> lock(slot->m);
+    const core::MutexLock lock(slot->m);
     if (slot->value) {
         tensorHits_.fetch_add(1, std::memory_order_relaxed);
         sim::metrics().add("traceCache.tensorHits");
@@ -79,7 +79,7 @@ TraceCache::countMap(const nn::Network &net, int convNodeId,
 {
     std::shared_ptr<Slot<CountMap>> slot;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const core::MutexLock lock(mutex_);
         auto &entry = counts_[sim::strfmt(
             "{}#{}#{}", tensorKey(net, convNodeId, imageSeed),
             pruneKey(prune), brickSize)];
@@ -87,7 +87,7 @@ TraceCache::countMap(const nn::Network &net, int convNodeId,
             entry = std::make_shared<Slot<CountMap>>();
         slot = entry;
     }
-    const std::lock_guard<std::mutex> lock(slot->m);
+    const core::MutexLock lock(slot->m);
     if (slot->value) {
         countHits_.fetch_add(1, std::memory_order_relaxed);
         sim::metrics().add("traceCache.countMapHits");

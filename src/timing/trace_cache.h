@@ -29,10 +29,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "core/sync.h"
 #include "nn/network.h"
 #include "timing/network_model.h"
 
@@ -77,18 +77,21 @@ class TraceCache
     Stats stats() const;
 
   private:
+    /** One cached artifact: its own mutex serializes the
+     *  compute-once protocol per key. */
     template <typename T> struct Slot
     {
-        std::mutex m;
-        std::shared_ptr<const T> value; ///< guarded by m
+        core::Mutex m;
+        std::shared_ptr<const T> value CNV_GUARDED_BY(m);
     };
 
-    std::mutex mutex_; ///< guards the two maps (not slot contents)
+    /** Guards the two key -> slot maps (not slot contents). */
+    core::Mutex mutex_;
     std::unordered_map<std::string,
                        std::shared_ptr<Slot<tensor::NeuronTensor>>>
-        tensors_;
+        tensors_ CNV_GUARDED_BY(mutex_);
     std::unordered_map<std::string, std::shared_ptr<Slot<CountMap>>>
-        counts_;
+        counts_ CNV_GUARDED_BY(mutex_);
 
     std::atomic<std::uint64_t> tensorHits_{0};
     std::atomic<std::uint64_t> tensorMisses_{0};

@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Module-layering gate over the src/ include graph.
+
+Run as the ``layering`` CTest (see tests/CMakeLists.txt) from the
+repository root. Extracts every ``#include "module/header.h"`` edge
+between the modules under ``src/`` and checks the result against the
+explicit allowed-dependency matrix below (the machine-readable form
+of the layer diagram in docs/architecture.md):
+
+  sim -> tensor -> zfnaf -> nn -> dadiannao -> core
+      -> {timing, power} -> {arch, pruning} -> driver
+
+with ``sim`` as the base utility layer every module may use, and a
+small set of *freestanding headers* (annotation/sync primitives that
+include nothing from src/) that any module may include without
+creating a layering edge — the freestanding property itself is
+verified, so the exemption cannot rot.
+
+Checks, in order:
+
+  1. the matrix covers every module directory under src/;
+  2. the matrix itself is acyclic (a cyclic matrix could launder any
+     dependency);
+  3. every observed include edge is declared in the matrix —
+     undeclared cross-module edges are reported file:line;
+  4. the observed module graph is acyclic;
+  5. when a ``compile_commands.json`` is present (``--build-dir``,
+     or auto-detected under build*/), every src/ translation unit
+     appears in it — a .cc dropped from the build would silently
+     escape every compile-time gate, including -Wthread-safety.
+
+``--dot PATH`` additionally writes the module graph as Graphviz
+(observed edges solid and labelled with their include-site count,
+declared-but-unused edges dashed); CI renders and uploads it.
+
+``--self-test`` (the mode the CTest runs) first checks the real
+tree, then verifies the gate can fail: a seeded forbidden edge
+(tensor -> driver) must be reported as a violation, a seeded cycle
+must be detected, and a cyclic matrix must be rejected — matching
+the check_perf_regression.py pattern.
+
+Usage: check_layering.py [ROOT] [--build-dir DIR] [--dot PATH]
+           [--self-test] [--quiet]
+
+Exit status: 0 clean, 1 violations, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Allowed dependencies: module -> modules it may #include from.
+# Keep this in lockstep with the table in docs/architecture.md
+# ("Layering: the allowed-dependency matrix"). Edges are explicit
+# and non-transitive: allowing timing -> core does not allow
+# arch -> core.
+ALLOWED = {
+    "sim": set(),
+    "tensor": {"sim"},
+    "zfnaf": {"tensor", "sim"},
+    "nn": {"tensor", "sim"},
+    "dadiannao": {"nn", "tensor", "sim"},
+    "core": {"zfnaf", "dadiannao", "nn", "tensor", "sim"},
+    "timing": {"core", "dadiannao", "zfnaf", "nn", "tensor", "sim"},
+    "power": {"dadiannao", "sim"},
+    "pruning": {"timing", "dadiannao", "nn", "sim"},
+    "arch": {"timing", "power", "dadiannao", "nn", "sim"},
+    "driver": {"arch", "pruning", "timing", "power", "core",
+               "dadiannao", "nn", "zfnaf", "tensor", "sim"},
+}
+
+# Headers any module may include without creating a layering edge.
+# The exemption is earned, not granted: verify_freestanding() checks
+# each one includes nothing from src/ beyond this same set.
+FREESTANDING = {
+    "core/thread_annotations.h",
+    "core/sync.h",
+}
+
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class Edge:
+    """One observed cross-module include edge with its witness sites."""
+
+    def __init__(self, src_mod: str, dst_mod: str):
+        self.src = src_mod
+        self.dst = dst_mod
+        self.sites: list[str] = []  # "path:line: includes x/y.h"
+
+
+def module_of(rel: str) -> str | None:
+    """src-relative path -> module name (top-level dir), or None."""
+    parts = rel.split("/")
+    return parts[0] if len(parts) > 1 else None
+
+
+def extract_edges(src_root: Path, quiet: bool):
+    """Scan src/ and return ({(src,dst): Edge}, [problems], files)."""
+    problems: list[str] = []
+    edges: dict[tuple[str, str], Edge] = {}
+    files = sorted(p for p in src_root.rglob("*")
+                   if p.suffix in (".h", ".cc"))
+    modules = sorted({m.name for m in src_root.iterdir() if m.is_dir()})
+    for mod in modules:
+        if mod not in ALLOWED:
+            problems.append(
+                f"src/{mod}: module missing from the allowed-dependency "
+                "matrix (tools/check_layering.py ALLOWED; document it in "
+                "docs/architecture.md)")
+    for path in files:
+        rel = path.relative_to(src_root).as_posix()
+        mod = module_of(rel)
+        if mod is None:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = INCLUDE.match(line)
+            if not m:
+                continue
+            target = m.group(1)
+            target_mod = module_of(target)
+            if target_mod is None or target_mod == mod:
+                continue
+            if not (src_root / target).is_file():
+                continue  # not a src/ module header (e.g. gtest)
+            if target in FREESTANDING and rel not in FREESTANDING:
+                continue  # verified-freestanding: no layering edge
+            edge = edges.setdefault((mod, target_mod),
+                                    Edge(mod, target_mod))
+            edge.sites.append(f"src/{rel}:{lineno}: includes {target}")
+    if not quiet:
+        print(f"layering: {len(files)} files, {len(modules)} modules, "
+              f"{len(edges)} distinct module edges")
+    return edges, problems, files
+
+
+def verify_freestanding(src_root: Path) -> list[str]:
+    """A freestanding header may include only other freestanding ones."""
+    problems = []
+    for rel in sorted(FREESTANDING):
+        path = src_root / rel
+        if not path.is_file():
+            problems.append(f"src/{rel}: listed in FREESTANDING but "
+                            "missing from the tree")
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = INCLUDE.match(line)
+            if not m:
+                continue
+            target = m.group(1)
+            if (src_root / target).is_file() and target not in FREESTANDING:
+                problems.append(
+                    f"src/{rel}:{lineno}: freestanding header includes "
+                    f"{target} — it must stay src-include-free to keep "
+                    "its layering exemption")
+    return problems
+
+
+def find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
+    """Return one cycle as a node list, or None when acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    stack: list[str] = []
+
+    def visit(n: str) -> list[str] | None:
+        color[n] = GREY
+        stack.append(n)
+        for succ in sorted(graph.get(n, ())):
+            if color.get(succ, WHITE) == GREY:
+                return stack[stack.index(succ):] + [succ]
+            if color.get(succ, WHITE) == WHITE:
+                cycle = visit(succ)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[n] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def check_edges(edges: dict[tuple[str, str], Edge]) -> list[str]:
+    problems = []
+    matrix_cycle = find_cycle({m: set(d) for m, d in ALLOWED.items()})
+    if matrix_cycle:
+        problems.append("allowed-dependency matrix is cyclic: "
+                        + " -> ".join(matrix_cycle))
+    for (src_mod, dst_mod), edge in sorted(edges.items()):
+        if dst_mod not in ALLOWED.get(src_mod, set()):
+            first = edge.sites[0]
+            more = (f" (+{len(edge.sites) - 1} more sites)"
+                    if len(edge.sites) > 1 else "")
+            problems.append(
+                f"undeclared module edge {src_mod} -> {dst_mod}: "
+                f"{first}{more} — either the include is a layering "
+                "violation, or the edge must be added to ALLOWED and "
+                "docs/architecture.md")
+    observed = {m: set() for m in ALLOWED}
+    for (src_mod, dst_mod) in edges:
+        observed.setdefault(src_mod, set()).add(dst_mod)
+    cycle = find_cycle(observed)
+    if cycle:
+        problems.append("include cycle between modules: "
+                        + " -> ".join(cycle))
+    return problems
+
+
+def check_compile_db(root: Path, build_dir: Path | None,
+                     quiet: bool) -> list[str]:
+    """Every src/ TU must be compiled, else no compile-time gate
+    (thread-safety, warnings) ever sees it."""
+    candidates = []
+    if build_dir:
+        candidates.append(build_dir / "compile_commands.json")
+    candidates += [root / "build" / "compile_commands.json",
+                   root / "build" / "dev" / "compile_commands.json"]
+    db_path = next((c for c in candidates if c.is_file()), None)
+    if db_path is None:
+        if not quiet:
+            print("layering: no compile_commands.json found "
+                  "(TU-coverage check skipped)")
+        return []
+    try:
+        entries = json.loads(db_path.read_text())
+        compiled = {Path(e["file"]).resolve() for e in entries}
+    except (json.JSONDecodeError, KeyError, TypeError) as err:
+        return [f"{db_path}: unreadable compile database ({err})"]
+    problems = []
+    for cc in sorted((root / "src").rglob("*.cc")):
+        if cc.resolve() not in compiled:
+            problems.append(
+                f"{cc.relative_to(root)}: not in {db_path.name} — "
+                "translation unit is not built, so compile-time "
+                "analyses never see it")
+    if not quiet:
+        print(f"layering: compile db {db_path} covers "
+              f"{len(compiled)} TUs")
+    return problems
+
+
+def write_dot(edges: dict[tuple[str, str], Edge], path: Path) -> None:
+    lines = ["digraph cnv_layering {",
+             "  rankdir=BT;",
+             '  node [shape=box, fontname="Helvetica"];']
+    for mod in sorted(ALLOWED):
+        lines.append(f'  "{mod}";')
+    for (src_mod, dst_mod), edge in sorted(edges.items()):
+        lines.append(f'  "{src_mod}" -> "{dst_mod}" '
+                     f'[label="{len(edge.sites)}"];')
+    for src_mod, deps in sorted(ALLOWED.items()):
+        for dst_mod in sorted(deps):
+            if (src_mod, dst_mod) not in edges:
+                lines.append(f'  "{src_mod}" -> "{dst_mod}" '
+                             "[style=dashed, color=gray];")
+    lines.append("}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def self_test(edges: dict[tuple[str, str], Edge]) -> list[str]:
+    """Prove the gate can fail: seeded violations must be caught."""
+    failures = []
+
+    seeded = dict(edges)
+    bad = Edge("tensor", "driver")
+    bad.sites.append("src/tensor/tensor.h:1: includes driver/driver.h "
+                     "(seeded)")
+    seeded[("tensor", "driver")] = bad
+    if not any("tensor -> driver" in p for p in check_edges(seeded)):
+        failures.append("self-test: seeded forbidden edge "
+                        "tensor -> driver was NOT detected")
+
+    cyclic = {m: set(d) for m, d in ALLOWED.items()}
+    cyclic["sim"] = {"driver"}
+    if find_cycle(cyclic) is None:
+        failures.append("self-test: seeded matrix cycle "
+                        "sim -> driver -> sim was NOT detected")
+
+    graph = {"a": {"b"}, "b": {"c"}, "c": {"a"}}
+    if find_cycle(graph) is None:
+        failures.append("self-test: 3-cycle was NOT detected")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--build-dir", type=Path, default=None,
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--dot", type=Path, default=None,
+                        help="write the module graph as Graphviz")
+    parser.add_argument("--self-test", action="store_true",
+                        help="additionally verify seeded violations "
+                             "are caught")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    root = Path(args.root).resolve()
+    src_root = root / "src"
+    if not src_root.is_dir():
+        print(f"layering: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    edges, problems, _files = extract_edges(src_root, args.quiet)
+    problems += verify_freestanding(src_root)
+    problems += check_edges(edges)
+    problems += check_compile_db(root, args.build_dir, args.quiet)
+
+    if args.dot:
+        write_dot(edges, args.dot)
+        if not args.quiet:
+            print(f"layering: wrote {args.dot}")
+
+    if args.self_test:
+        problems += self_test(edges)
+
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(f"layering: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,7 +2,7 @@
 """cnvlint — Cnvlutin-specific invariants no generic linter can know.
 
 Run as a CTest check (see tests/CMakeLists.txt) from the repository
-root, or pass the root as the first argument. Eight rules over
+root, or pass the root as the first argument. Ten rules over
 ``src/**``:
 
   magic-16      The brick/lane/unit/filter/bank geometry of the paper
@@ -50,6 +50,20 @@ root, or pass the root as the first argument. Eight rules over
                 ``src/sim/metrics.h`` / ``src/sim/metrics.cc`` —
                 scattered clock reads would fragment the telemetry
                 the hostProfile section reports.
+  rng-source    All randomness flows from the seeded ``sim::Rng``
+                splittable streams, so ``rand()``, ``srand()`` and
+                ``std::random_device`` are banned outside
+                ``src/sim/rng.h`` / ``src/sim/rng.cc`` — an unseeded
+                source would silently break run-to-run
+                reproducibility and the determinism smoke test.
+  unordered-iteration
+                Range-for over ``std::unordered_map`` /
+                ``std::unordered_set`` is banned in ``src/driver``
+                and ``src/sim/stats_export.*`` — hash-order
+                iteration there leaks nondeterministic ordering
+                straight into reports and exported JSON/CSV. Sort
+                the keys first (see the snapshot pattern in
+                stats_export.cc).
 
 Suppressions: append ``// cnvlint: allow(<rule>)`` (with an optional
 — justification) to the offending line or the line directly above
@@ -101,12 +115,29 @@ HOST_TIMING_FILE_ALLOWLIST = {
     "src/sim/metrics.cc",
 }
 
+# The one module allowed to source randomness: the seeded Rng streams.
+RNG_SOURCE_FILE_ALLOWLIST = {
+    "src/sim/rng.h",
+    "src/sim/rng.cc",
+}
+
+# Where hash-order iteration would leak into user-visible output.
+UNORDERED_ITER_SCOPE = ("src/driver/", "src/sim/stats_export.")
+
 SUPPRESS = re.compile(r"cnvlint:\s*allow\(([a-z0-9-]+)\)")
 ARCH_ENUM = re.compile(r"\b(?:timing|power)::Arch\b")
 RAW_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
 HOST_TIMING = re.compile(
     r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)\b"
 )
+RNG_CALL = re.compile(r"(?<![\w.])(?:std::)?(srand|rand)\s*\(")
+RNG_DEVICE = re.compile(r"\bstd::random_device\b")
+UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;={]*>\s+(\w+)\s*[;={(]"
+)
+# Range-for: the single `:` separating declaration from range (the
+# lookarounds keep `::` qualifiers from matching).
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?(?<!:):(?!:)([^)]*)\)")
 BARE_16 = re.compile(r"(?<![\w.])16(?![\w.])")
 ERROR_CALLS = re.compile(r"(?<![\w:.])(assert|abort|exit)\s*\(")
 BANNED_CASTS = re.compile(r"\b(reinterpret_cast|const_cast)\b")
@@ -277,6 +308,55 @@ class Linter:
                 "nowNanos() so all host telemetry shares one epoch",
             )
 
+    def check_rng_source(self, path: Path, lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        if rel in RNG_SOURCE_FILE_ALLOWLIST:
+            return
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            m = RNG_CALL.search(code) or RNG_DEVICE.search(code)
+            if not m:
+                continue
+            if self.suppressed(lines, idx, "rng-source"):
+                continue
+            what = (m.group(1) + "()" if m.re is RNG_CALL
+                    else "std::random_device")
+            self.report(
+                path, idx + 1, "rng-source",
+                f"{what} outside src/sim/rng.* — draw from the seeded "
+                "sim::Rng splittable streams so runs stay reproducible",
+            )
+
+    def check_unordered_iteration(self, path: Path,
+                                  lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        if not rel.startswith(UNORDERED_ITER_SCOPE):
+            return
+        # Identifiers declared with an unordered container type
+        # anywhere in this file (members and locals alike).
+        declared = set()
+        for raw in lines:
+            declared.update(UNORDERED_DECL.findall(code_of(raw)))
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            m = RANGE_FOR.search(code)
+            if not m:
+                continue
+            range_expr = m.group(1)
+            idents = set(re.findall(r"[A-Za-z_]\w*", range_expr))
+            if ("unordered_" not in range_expr
+                    and not (idents & declared)):
+                continue
+            if self.suppressed(lines, idx, "unordered-iteration"):
+                continue
+            self.report(
+                path, idx + 1, "unordered-iteration",
+                "range-for over an unordered container in "
+                "report-emitting code — hash order is "
+                "nondeterministic; sort the keys first (see the "
+                "snapshot pattern in src/sim/stats_export.cc)",
+            )
+
     def check_schema_docs(self) -> None:
         doc_path = self.root / SCHEMA_DOC
         if not doc_path.is_file():
@@ -286,6 +366,8 @@ class Linter:
                                    doc_path.read_text()))
         for rel in SCHEMA_SOURCES:
             src = self.root / rel
+            if not src.is_file():
+                continue  # partial trees (rule self-test fixtures)
             text = strip_comments(src.read_text())
             for idx, line in enumerate(text.splitlines()):
                 for m in KEY_LITERAL.finditer(line):
@@ -319,6 +401,8 @@ class Linter:
             self.check_arch_dispatch(path, lines)
             self.check_raw_thread(path, lines)
             self.check_host_timing(path, lines)
+            self.check_rng_source(path, lines)
+            self.check_unordered_iteration(path, lines)
             if path.suffix == ".h":
                 self.check_include_guard(path, raw)
         self.check_schema_docs()
