@@ -54,9 +54,14 @@
 #define CNV_RELEASE(...) \
     CNV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
 
-/** Function that acquires the capability when it returns `result`. */
-#define CNV_TRY_ACQUIRE(result, ...) \
-    CNV_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/** Function that acquires the capability when it returns the first
+ *  argument (`true`/`false`); further arguments name the capability,
+ *  defaulting to `this`. All arguments pass through `__VA_ARGS__`
+ *  (the Clang-docs/Abseil pattern) so the common one-argument form
+ *  `CNV_TRY_ACQUIRE(true)` never leaves a trailing comma in the
+ *  attribute list. */
+#define CNV_TRY_ACQUIRE(...) \
+    CNV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
 
 /** Function callable only while NOT holding the listed capabilities
  *  (deadlock documentation for lock-taking entry points). */

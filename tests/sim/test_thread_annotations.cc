@@ -59,6 +59,27 @@ TEST(Sync, MutexLockExcludesConcurrentCriticalSections)
     EXPECT_EQ(counter, kIncrements);
 }
 
+TEST(ThreadAnnotations, TryAcquireSingleArgLeavesNoTrailingComma)
+{
+    // Regression: CNV_TRY_ACQUIRE used to be (result, ...), so the
+    // one-argument form in core/sync.h expanded to
+    // try_acquire_capability(true, ) — a parse error that broke
+    // every Clang build. All arguments now pass through __VA_ARGS__.
+    const std::string one = CNV_TEST_STR(CNV_TRY_ACQUIRE(true));
+    const std::string two = CNV_TEST_STR(CNV_TRY_ACQUIRE(true, someMutex));
+    EXPECT_EQ(one.find(", )"), std::string::npos);
+    EXPECT_EQ(one.find(",)"), std::string::npos);
+    if (CNV_THREAD_SAFETY_ENABLED) {
+        EXPECT_NE(one.find("try_acquire_capability(true)"),
+                  std::string::npos);
+        EXPECT_NE(two.find("try_acquire_capability(true, someMutex)"),
+                  std::string::npos);
+    } else {
+        EXPECT_EQ(one, "");
+        EXPECT_EQ(two, "");
+    }
+}
+
 TEST(Sync, TryLockAcquiresWhenFree)
 {
     cnv::core::Mutex mutex;

@@ -126,6 +126,25 @@ def seed_clean_tree(root: Path) -> None:
         "    return total;",
         "}",
     ]) + "\n")
+    # unordered-iteration must not fire on either of these, even
+    # though both files are in scope and declare unordered names:
+    # a classic for-loop whose init clause holds a ternary is not a
+    # range-for, and iterating a sorted wrapper's result imposes an
+    # order regardless of what was passed in.
+    write(root, "src/driver/good_loops.cc", "\n".join([
+        "#include <unordered_map>",
+        "#include <vector>",
+        "std::vector<int> sortedKeys(const std::unordered_map<int, int> &);",
+        "int walk(bool flag) {",
+        "    std::unordered_map<int, int> counters;",
+        "    int total = 0;",
+        "    for (int i = flag ? 1 : 0; i < counters.size(); ++i)",
+        "        total += i;",
+        "    for (int k : sortedKeys(counters))",
+        "        total += k;",
+        "    return total;",
+        "}",
+    ]) + "\n")
     write(root, "docs/observability.md", "# Schema fixture\n")
 
 

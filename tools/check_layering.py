@@ -36,8 +36,10 @@ declared-but-unused edges dashed); CI renders and uploads it.
 ``--self-test`` (the mode the CTest runs) first checks the real
 tree, then verifies the gate can fail: a seeded forbidden edge
 (tensor -> driver) must be reported as a violation, a seeded cycle
-must be detected, and a cyclic matrix must be rejected — matching
-the check_perf_regression.py pattern.
+must be detected, a cyclic matrix must be rejected, and a fixture
+compile db must resolve relative "file" entries against their
+"directory" while still catching an uncovered TU — matching the
+check_perf_regression.py pattern.
 
 Usage: check_layering.py [ROOT] [--build-dir DIR] [--dot PATH]
            [--self-test] [--quiet]
@@ -51,6 +53,7 @@ import argparse
 import json
 import re
 import sys
+import tempfile
 from pathlib import Path
 
 # Allowed dependencies: module -> modules it may #include from.
@@ -231,7 +234,12 @@ def check_compile_db(root: Path, build_dir: Path | None,
         return []
     try:
         entries = json.loads(db_path.read_text())
-        compiled = {Path(e["file"]).resolve() for e in entries}
+        # "file" may be relative; the spec resolves it against the
+        # entry's "directory", never against our own CWD.
+        compiled = {
+            (Path(e.get("directory", db_path.parent)) / e["file"]).resolve()
+            for e in entries
+        }
     except (json.JSONDecodeError, KeyError, TypeError) as err:
         return [f"{db_path}: unreadable compile database ({err})"]
     problems = []
@@ -287,6 +295,29 @@ def self_test(edges: dict[tuple[str, str], Edge]) -> list[str]:
     graph = {"a": {"b"}, "b": {"c"}, "c": {"a"}}
     if find_cycle(graph) is None:
         failures.append("self-test: 3-cycle was NOT detected")
+
+    # Compile-db entries with a relative "file" must resolve against
+    # their own "directory" (per the compile-db spec), never against
+    # this script's CWD — a CWD-dependent resolution would mark every
+    # TU missing (or silently cover nothing) depending on where ctest
+    # happens to run.
+    with tempfile.TemporaryDirectory(prefix="layering-selftest-") as tmp:
+        fake = Path(tmp)
+        (fake / "src" / "core").mkdir(parents=True)
+        (fake / "src" / "core" / "unit.cc").write_text("// fixture\n")
+        build = fake / "build"
+        build.mkdir()
+        (build / "compile_commands.json").write_text(json.dumps([
+            {"directory": str(build),
+             "file": "../src/core/unit.cc",
+             "command": "c++ -c ../src/core/unit.cc"}]))
+        if check_compile_db(fake, build, quiet=True):
+            failures.append("self-test: relative compile-db entry was "
+                            "not resolved against its directory")
+        (fake / "src" / "core" / "orphan.cc").write_text("// fixture\n")
+        if not check_compile_db(fake, build, quiet=True):
+            failures.append("self-test: TU missing from the compile db "
+                            "was NOT detected")
     return failures
 
 

@@ -135,9 +135,19 @@ RNG_DEVICE = re.compile(r"\bstd::random_device\b")
 UNORDERED_DECL = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;={]*>\s+(\w+)\s*[;={(]"
 )
-# Range-for: the single `:` separating declaration from range (the
-# lookarounds keep `::` qualifiers from matching).
-RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?(?<!:):(?!:)([^)]*)\)")
+# Range-for: the single `:` separating declaration from range. The
+# lookarounds keep `::` qualifiers from matching, and the declaration
+# part excludes `;` and `?` so a classic for-loop with a ternary in
+# its init clause (`for (int i = flag ? 1 : 0; ...)`) is not
+# mistaken for a range-for.
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)?]*?(?<!:):(?!:)([^)]*)\)")
+# A range expression that IS one identifier (optionally parenthesised,
+# dereferenced, or reached via qualifiers / member access) — as
+# opposed to a call like `sortedKeys(map)` whose result imposes its
+# own order. Group 1 is the final identifier.
+DIRECT_RANGE = re.compile(
+    r"^\s*\(?\s*[*&]?\s*(?:[A-Za-z_]\w*(?:::|\.|->))*([A-Za-z_]\w*)\s*\)?\s*$"
+)
 BARE_16 = re.compile(r"(?<![\w.])16(?![\w.])")
 ERROR_CALLS = re.compile(r"(?<![\w:.])(assert|abort|exit)\s*\(")
 BANNED_CASTS = re.compile(r"\b(reinterpret_cast|const_cast)\b")
@@ -343,9 +353,15 @@ class Linter:
             if not m:
                 continue
             range_expr = m.group(1)
-            idents = set(re.findall(r"[A-Za-z_]\w*", range_expr))
+            # Flag only iteration over the unordered container itself:
+            # either the range expression names an unordered type
+            # inline, or it is directly an identifier declared with
+            # one. An identifier merely appearing inside a larger
+            # expression (e.g. `sortedKeys(map)`) is someone imposing
+            # an order and must not fire the rule.
+            direct = DIRECT_RANGE.match(range_expr)
             if ("unordered_" not in range_expr
-                    and not (idents & declared)):
+                    and not (direct and direct.group(1) in declared)):
                 continue
             if self.suppressed(lines, idx, "unordered-iteration"):
                 continue
