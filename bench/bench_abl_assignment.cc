@@ -30,6 +30,7 @@ main(int argc, char **argv)
             driver::ExperimentConfig cfg;
             cfg.images = opts.images;
             cfg.seed = opts.seed;
+            cfg.memKind = opts.memKind;
             cfg.node.laneAssignment = policy;
             const auto r = driver::evaluateZooNetwork(cfg, id);
             sums[i++] += r.speedup();

@@ -30,6 +30,7 @@ main(int argc, char **argv)
         driver::ExperimentConfig cfg;
         cfg.images = opts.images;
         cfg.seed = opts.seed;
+        cfg.memKind = opts.memKind;
         cfg.node.brickSize = brick;
         cfg.node.lanes = brick;
         cfg.node.nmBanks = brick; // one bank per lane

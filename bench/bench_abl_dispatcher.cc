@@ -28,6 +28,7 @@ main(int argc, char **argv)
                 driver::ExperimentConfig cfg;
                 cfg.images = opts.images;
                 cfg.seed = opts.seed;
+                cfg.memKind = opts.memKind;
                 cfg.node.emptyBrickCostsCycle = costs;
                 const auto r = driver::evaluateZooNetwork(cfg, id);
                 row.push_back(sim::Table::num(r.speedup()));
@@ -46,6 +47,7 @@ main(int argc, char **argv)
                 driver::ExperimentConfig cfg;
                 cfg.images = opts.images;
                 cfg.seed = opts.seed;
+                cfg.memKind = opts.memKind;
                 cfg.node.nboutEntries = nbout;
                 const auto r = driver::evaluateZooNetwork(cfg, id);
                 row.push_back(sim::Table::num(r.speedup()));

@@ -29,6 +29,7 @@ main(int argc, char **argv)
             driver::ExperimentConfig cfg;
             cfg.images = opts.images;
             cfg.seed = opts.seed;
+            cfg.memKind = opts.memKind;
             cfg.node.cnvSkipsFcLayers = fcSkip;
             const auto r = driver::evaluateZooNetwork(cfg, id);
             speedups[i] = r.speedup();

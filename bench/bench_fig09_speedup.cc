@@ -13,8 +13,10 @@
 #include "arch/registry.h"
 #include "common.h"
 #include "driver/trace_pipeline.h"
+#include "mem/memory_model.h"
 #include "pruning/explore.h"
 #include "timing/network_model.h"
+#include "timing/trace_cache.h"
 
 using namespace cnv;
 
@@ -64,6 +66,7 @@ main(int argc, char **argv)
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
+    cfg.memKind = opts.memKind;
     bench::printConfig(cfg.node);
 
     pruning::SearchOptions search;
@@ -74,22 +77,48 @@ main(int argc, char **argv)
     const auto threeArchs =
         arch::builtin().select("dadiannao,cnv,cnv2");
     sim::Table t({"network", "CNV", "paper CNV (approx)", "CNV2",
-                  "CNV+Pruning", "paper CNV+Pruning"});
+                  "CNV banked ovh.", "CNV+Pruning",
+                  "paper CNV+Pruning"});
     sim::StatGroup fig("fig09");
     sim::TraceSink trace;
     std::uint32_t tracePid = 1;
+    // One trace cache across the main sweep and the banked
+    // comparison runs: synthesis keys are memory-model-independent,
+    // so the extra runs hit instead of resynthesizing.
+    timing::TraceCache cache;
     double sumPlain = 0.0, sumCnv2 = 0.0, sumPruned = 0.0;
+    double sumBankedOvh = 0.0;
     for (auto id : nn::zoo::allNetworks()) {
         const auto net = nn::zoo::build(id, cfg.seed);
-        const auto plain =
-            driver::evaluateNetworkArchs(cfg, *net, threeArchs);
+        const auto plain = driver::evaluateNetworkArchs(
+            cfg, *net, threeArchs, nullptr, &cache);
         const double cnv2Speedup = plain.speedupOf("dadiannao", "cnv2");
+
+        // Banked-vs-ideal CNV comparison: one extra CNV-only run
+        // with the memory model the main sweep did not use, so the
+        // artifact always carries both cycle counts regardless of
+        // the --mem selection.
+        const bool mainBanked = cfg.memKind == mem::Kind::Banked;
+        driver::ExperimentConfig altCfg = cfg;
+        altCfg.memKind =
+            mainBanked ? mem::Kind::Ideal : mem::Kind::Banked;
+        const auto alt = driver::evaluateNetworkArchs(
+            altCfg, *net, arch::builtin().select("cnv"), nullptr,
+            &cache);
+        const std::uint64_t cnvIdealCycles =
+            (mainBanked ? alt : plain).arch("cnv").cycles;
+        const std::uint64_t cnvBankedCycles =
+            (mainBanked ? plain : alt).arch("cnv").cycles;
+        const double bankedOverhead =
+            static_cast<double>(cnvBankedCycles) /
+            static_cast<double>(cnvIdealCycles);
 
         if (!opts.traceOut.empty()) {
             // One timeline per (network, architecture) pair, on the
             // manifest's root seed like the driver reports.
             timing::RunOptions ropts;
             ropts.imageSeed = cfg.seed;
+            ropts.memKind = cfg.memKind;
             for (const char *archId : {"cnv", "cnv2", "dadiannao"}) {
                 const auto &model = arch::builtin().get(archId);
                 driver::appendNetworkTrace(
@@ -113,10 +142,12 @@ main(int argc, char **argv)
         sumPlain += plain.speedup();
         sumCnv2 += cnv2Speedup;
         sumPruned += pruned;
+        sumBankedOvh += bankedOverhead;
         t.addRow({nn::zoo::netName(id),
                   sim::Table::num(plain.speedup()),
                   sim::Table::num(paperCnv(id)),
                   sim::Table::num(cnv2Speedup),
+                  sim::Table::num(bankedOverhead),
                   opts.quick ? "(skipped)" : sim::Table::num(pruned),
                   sim::Table::num(paperCnvPruned(id))});
 
@@ -127,6 +158,11 @@ main(int argc, char **argv)
             plain.arch("cnv").cycles;
         g.addCounter("cnv2Cycles", "Cnvlutin2 cycles over images") +=
             plain.arch("cnv2").cycles;
+        g.addCounter("cnvBankedCycles",
+                     "CNV cycles over images under --mem banked") +=
+            cnvBankedCycles;
+        g.addScalar("bankedOverhead",
+                    "CNV banked-over-ideal cycle ratio") = bankedOverhead;
         g.addScalar("speedup", "measured CNV speedup") = plain.speedup();
         g.addScalar("cnv2Speedup", "measured Cnvlutin2 speedup") =
             cnv2Speedup;
@@ -140,12 +176,16 @@ main(int argc, char **argv)
     }
     t.addRow({"average", sim::Table::num(sumPlain / 6), "1.37",
               sim::Table::num(sumCnv2 / 6),
+              sim::Table::num(sumBankedOvh / 6),
               opts.quick ? "(skipped)" : sim::Table::num(sumPruned / 6),
               "1.52"});
     fig.addScalar("averageSpeedup", "arithmetic mean of CNV speedups") =
         sumPlain / 6;
     fig.addScalar("averageCnv2Speedup",
                   "arithmetic mean of Cnvlutin2 speedups") = sumCnv2 / 6;
+    fig.addScalar("averageBankedOverhead",
+                  "arithmetic mean of CNV banked-over-ideal ratios") =
+        sumBankedOvh / 6;
     if (!opts.quick)
         fig.addScalar("averagePrunedSpeedup",
                       "arithmetic mean of CNV+Pruning speedups") =

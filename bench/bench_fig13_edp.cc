@@ -19,6 +19,7 @@ main(int argc, char **argv)
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
+    cfg.memKind = opts.memKind;
     bench::printConfig(cfg.node);
 
     sim::Table t({"network", "speedup", "EDP improvement",

@@ -21,6 +21,7 @@ main(int argc, char **argv)
     driver::ExperimentConfig cfg;
     cfg.images = opts.images;
     cfg.seed = opts.seed;
+    cfg.memKind = opts.memKind;
 
     pruning::SearchOptions search;
     search.accuracyImages = opts.quick ? 4 : 10;

@@ -16,6 +16,9 @@
  *                (honoured by benches that advertise it in --help)
  *   --jobs N     worker-pool size (default: hardware concurrency or
  *                CNVSIM_JOBS); results are job-count-invariant
+ *   --mem M      memory-hierarchy model: 'ideal' (default, keeps the
+ *                legacy numbers) or 'banked' (NM banking + global
+ *                buffer + DRAM channel)
  */
 
 #ifndef CNV_BENCH_COMMON_H
@@ -32,6 +35,7 @@
 
 #include "driver/driver.h"
 #include "driver/run_manifest.h"
+#include "mem/memory_model.h"
 #include "sim/metrics.h"
 #include "sim/parallel.h"
 #include "sim/stats_export.h"
@@ -52,6 +56,8 @@ struct Options
     std::string traceOut;
     /** Worker-pool size this run was configured with. */
     int jobs = 0;
+    /** Memory-hierarchy model (ExperimentConfig::memKind). */
+    mem::Kind memKind = mem::Kind::Ideal;
 };
 
 inline Options
@@ -110,6 +116,15 @@ parseArgs(int argc, char **argv, int defaultImages = 2)
                           << "' for " << arg << " (expected >= 1)\n";
                 std::exit(2);
             }
+        } else if (arg == "--mem") {
+            const std::string value = next();
+            const auto kind = mem::parseKind(value);
+            if (!kind) {
+                std::cerr << "invalid value '" << value << "' for "
+                          << arg << " (expected 'ideal' or 'banked')\n";
+                std::exit(2);
+            }
+            opts.memKind = *kind;
         } else if (arg == "--json") {
             opts.json = next();
         } else if (arg == "--trace-out") {
@@ -120,7 +135,8 @@ parseArgs(int argc, char **argv, int defaultImages = 2)
             opts.quick = true;
         } else if (arg == "--help") {
             std::cout << "options: --images N --seed S --csv --quick "
-                         "--json PATH --trace-out PATH --jobs N\n";
+                         "--json PATH --trace-out PATH --jobs N "
+                         "--mem ideal|banked\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option " << arg << '\n';
@@ -181,6 +197,7 @@ writeFigureArtifact(const Options &opts, const std::string &figure,
     manifest.nodeConfig = node.describe();
     manifest.images = opts.images;
     manifest.seed = opts.seed;
+    manifest.mem = mem::kindName(opts.memKind);
     manifest.wallSeconds = sim::metrics().secondsSinceEnable();
 
     sim::JsonWriter w(os);

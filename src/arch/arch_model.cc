@@ -28,6 +28,17 @@ ArchModel::otherTiming(const dadiannao::NodeConfig &cfg,
     return dadiannao::otherLayerTiming(cfg, node, overlap);
 }
 
+mem::Geometry
+ArchModel::memGeometry(const dadiannao::NodeConfig &cfg) const
+{
+    mem::Geometry geo;
+    geo.banks = cfg.nmBanks;
+    geo.slicedFetch = false;
+    geo.nmBytes = cfg.nmBytes;
+    geo.dramBytesPerCycle = cfg.offchipBytesPerCycle;
+    return geo;
+}
+
 namespace {
 
 /**
@@ -81,6 +92,17 @@ class BuiltinModel : public ArchModel
         return cfg;
     }
 
+    mem::Geometry
+    memGeometry(const dadiannao::NodeConfig &cfg) const override
+    {
+        mem::Geometry geo = ArchModel::memGeometry(cfg);
+        // Every CNV-family variant fetches through 16 independent
+        // per-slice pointers; only the baseline keeps DaDianNao's
+        // single unit-wide pointer (Section IV-B2).
+        geo.slicedFetch = timing_ != timing::Arch::Baseline;
+        return geo;
+    }
+
     dadiannao::NetworkResult
     simulateNetwork(const dadiannao::NodeConfig &base,
                     const nn::Network &net,
@@ -89,6 +111,8 @@ class BuiltinModel : public ArchModel
         const dadiannao::NodeConfig cfg = nodeConfig(base);
         validateNode(cfg);
         timing::RunOptions run = opts;
+        if (run.memKind != mem::Kind::Ideal && run.memGeometry.banks == 0)
+            run.memGeometry = memGeometry(cfg);
         nn::PruneConfig defaults;
         if (defaultPrune_ && run.prune == nullptr) {
             defaults.thresholds.assign(

@@ -21,6 +21,7 @@
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
 #include "dadiannao/other_layers.h"
+#include "mem/memory_model.h"
 #include "nn/network.h"
 #include "power/model.h"
 #include "timing/network_model.h"
@@ -61,6 +62,17 @@ class ArchModel
      * this to add their own checks.
      */
     virtual void validateNode(const dadiannao::NodeConfig &cfg) const;
+
+    /**
+     * Memory-hierarchy geometry for `--mem banked` runs on this
+     * architecture, derived from the (already variant-adjusted)
+     * node configuration. The default maps NodeConfig fields
+     * directly and fetches through a single unit-wide pointer;
+     * variants with per-lane slice pointers (the CNV family)
+     * override the sliced-fetch flag via their timing selection.
+     */
+    virtual mem::Geometry
+    memGeometry(const dadiannao::NodeConfig &cfg) const;
 
     /**
      * Timing entry point: run one image trace through the network on

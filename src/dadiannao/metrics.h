@@ -99,12 +99,21 @@ struct StallBreakdown
     std::uint64_t synapseWait = 0;
     /** Lane slice drained while other lanes still worked. */
     std::uint64_t sliceDrained = 0;
+    /** Slice fetch pointers serialised on an NM bank conflict
+     *  (`--mem banked` runs only; zero under the ideal model). */
+    std::uint64_t nmBankConflict = 0;
+    /** Global-buffer miss fills not hidden behind compute
+     *  (`--mem banked` runs only). */
+    std::uint64_t gbMiss = 0;
+    /** Off-chip activation spill past the NM capacity
+     *  (`--mem banked` runs only). */
+    std::uint64_t dramWait = 0;
 
     std::uint64_t
     total() const
     {
         return brickBufferEmpty + windowBarrier + synapseWait +
-               sliceDrained;
+               sliceDrained + nmBankConflict + gbMiss + dramWait;
     }
 
     StallBreakdown &
@@ -114,6 +123,43 @@ struct StallBreakdown
         windowBarrier += o.windowBarrier;
         synapseWait += o.synapseWait;
         sliceDrained += o.sliceDrained;
+        nmBankConflict += o.nmBankConflict;
+        gbMiss += o.gbMiss;
+        dramWait += o.dramWait;
+        return *this;
+    }
+};
+
+/**
+ * Per-layer memory-hierarchy counters (filled only on `--mem
+ * banked` runs; all zero — and omitted from every report — under
+ * the ideal model). Mirrors mem::Counters so result records stay
+ * plain data with no mem dependency.
+ */
+struct MemTrace
+{
+    /** Brick-granular NM reads issued (global-buffer hits excluded). */
+    std::uint64_t nmAccesses = 0;
+    /** Extra cycles serialised on NM bank conflicts. */
+    std::uint64_t nmConflictCycles = 0;
+    /** Global-buffer hits / misses / capacity evictions. */
+    std::uint64_t gbHits = 0;
+    std::uint64_t gbMisses = 0;
+    std::uint64_t gbEvictions = 0;
+    /** Off-chip traffic and the channel cycles it occupied. */
+    std::uint64_t dramBytes = 0;
+    std::uint64_t dramCycles = 0;
+
+    MemTrace &
+    operator+=(const MemTrace &o)
+    {
+        nmAccesses += o.nmAccesses;
+        nmConflictCycles += o.nmConflictCycles;
+        gbHits += o.gbHits;
+        gbMisses += o.gbMisses;
+        gbEvictions += o.gbEvictions;
+        dramBytes += o.dramBytes;
+        dramCycles += o.dramCycles;
         return *this;
     }
 };
@@ -193,6 +239,8 @@ struct LayerResult
     Activity activity;
     EnergyCounters energy;
     MicroTrace micro;
+    /** Memory-hierarchy counters (all zero unless `--mem banked`). */
+    MemTrace mem;
 };
 
 /** Whole-network result. */
@@ -200,6 +248,13 @@ struct NetworkResult
 {
     std::string network;
     std::string architecture;
+    /**
+     * True when the run simulated the memory hierarchy (`--mem
+     * banked`): per-layer MemTrace fields are meaningful and the
+     * reports emit the memory blocks. False keeps every report
+     * byte-identical to a pre-mem build.
+     */
+    bool memModelled = false;
     std::vector<LayerResult> layers;
 
     std::uint64_t
@@ -235,6 +290,15 @@ struct NetworkResult
         MicroTrace m;
         for (const LayerResult &l : layers)
             m += l.micro;
+        return m;
+    }
+
+    MemTrace
+    totalMem() const
+    {
+        MemTrace m;
+        for (const LayerResult &l : layers)
+            m += l.mem;
         return m;
     }
 

@@ -34,8 +34,11 @@ class FetchUnit : public sim::Clocked
 {
   public:
     FetchUnit(std::deque<FetchBlock> schedule,
-              sim::Latch<FetchBlock> &out)
-        : sim::Clocked("fetch"), schedule_(std::move(schedule)), out_(out)
+              sim::Latch<FetchBlock> &out, mem::MemoryModel *mem)
+        : sim::Clocked("fetch"),
+          schedule_(std::move(schedule)),
+          out_(out),
+          mem_(mem)
     {
     }
 
@@ -52,6 +55,8 @@ class FetchUnit : public sim::Clocked
         out_.push(std::move(schedule_.front()));
         schedule_.pop_front();
         ++nmReads_;
+        if (mem_)
+            mem_->fetchSequential(1);
     }
 
     void commit(sim::Cycle) override { out_.tick(); }
@@ -73,6 +78,7 @@ class FetchUnit : public sim::Clocked
   private:
     std::deque<FetchBlock> schedule_;
     sim::Latch<FetchBlock> &out_;
+    mem::MemoryModel *mem_;
     std::uint64_t nmReads_ = 0;
     bool streaming_ = false;
     sim::Cycle streamStart_ = 0;
@@ -198,7 +204,8 @@ BaselinePipelineResult
 runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
                         const NeuronTensor &in, const FilterBank &weights,
                         const std::vector<Fixed16> &bias,
-                        sim::TraceSink *trace, std::uint32_t tracePid)
+                        sim::TraceSink *trace, std::uint32_t tracePid,
+                        mem::MemoryModel *mem)
 {
     CNV_ASSERT(p.groups == 1, "pipeline models single-group layers");
     CNV_ASSERT(p.filters <= cfg.parallelFilters(),
@@ -253,7 +260,7 @@ runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
         std::vector<Accum>(static_cast<std::size_t>(p.filters)));
 
     sim::Latch<FetchBlock> nbin;
-    FetchUnit fetch(std::move(schedule), nbin);
+    FetchUnit fetch(std::move(schedule), nbin, mem);
     UnitArray units(nbin, p, weights, acc, lanes);
     if (trace) {
         trace->setProcessName(tracePid, "dadiannao node (structural)");
@@ -276,6 +283,16 @@ runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
     result.micro.laneIdleCycles =
         units.idleCycles() * static_cast<std::uint64_t>(lanes);
     result.micro.stalls.brickBufferEmpty = result.micro.laneIdleCycles;
+    if (mem) {
+        const mem::Counters c = mem->drainLayer();
+        result.mem.nmAccesses = c.nmAccesses;
+        result.mem.nmConflictCycles = c.nmConflictCycles;
+        result.mem.gbHits = c.gbHits;
+        result.mem.gbMisses = c.gbMisses;
+        result.mem.gbEvictions = c.gbEvictions;
+        result.mem.dramBytes = c.dramBytes;
+        result.mem.dramCycles = c.dramCycles;
+    }
 
     result.output = NeuronTensor(outShape);
     for (std::int64_t w = 0; w < windows; ++w) {

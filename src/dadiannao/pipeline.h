@@ -24,6 +24,7 @@
 
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
+#include "mem/memory_model.h"
 #include "nn/layer.h"
 #include "sim/trace_event.h"
 #include "tensor/neuron_tensor.h"
@@ -43,6 +44,8 @@ struct BaselinePipelineResult
      * wait — micro.stalls.total() == micro.laneIdleCycles.
      */
     MicroTrace micro;
+    /** Memory counters when a model was supplied (zero otherwise). */
+    MemTrace mem;
 };
 
 /**
@@ -54,6 +57,9 @@ struct BaselinePipelineResult
  *        side by side: a unit-array track (tid 1) with busy/stall
  *        spans and a fetch-stream track (tid 2).
  * @param tracePid Trace process id to emit under.
+ * @param mem Optional memory model the fetch unit's NM reads are
+ *        issued against (sequential single-pointer stream, so a
+ *        banked NM never conflicts); drained into result.mem.
  */
 BaselinePipelineResult
 runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
@@ -61,7 +67,8 @@ runConvPipelineBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
                         const tensor::FilterBank &weights,
                         const std::vector<tensor::Fixed16> &bias,
                         sim::TraceSink *trace = nullptr,
-                        std::uint32_t tracePid = 2);
+                        std::uint32_t tracePid = 2,
+                        mem::MemoryModel *mem = nullptr);
 
 } // namespace cnv::dadiannao
 

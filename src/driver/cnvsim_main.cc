@@ -38,6 +38,11 @@
  *   --weight-sparsity F  fraction of ineffectual weight bricks the
  *                  cnv2 model skips (0..1, default 0.35); recorded
  *                  in the report manifest, ignored by other archs
+ *   --mem ideal|banked   memory-hierarchy model (run/power/trace):
+ *                  ideal (default) keeps the legacy numbers
+ *                  byte-identical; banked simulates NM banking, the
+ *                  shared global buffer and the DRAM channel, and
+ *                  adds the summary.memory report block
  *   --perf-json PATH     write the host-side telemetry profile
  *                  (phase timers, pool utilization, trace-cache
  *                  stats, peak RSS) as a cnv-perf-v1 artifact
@@ -68,6 +73,7 @@
 #include "driver/run_manifest.h"
 #include "driver/stats_report.h"
 #include "driver/trace_pipeline.h"
+#include "mem/memory_model.h"
 #include "nn/trace.h"
 #include "tensor/serialize.h"
 #include "zfnaf/format.h"
@@ -104,6 +110,7 @@ struct CliOptions
     std::size_t maxEvents = sim::TraceSink::kDefaultMaxEvents;
     int jobs = 0; ///< 0 = keep the process default
     double weightSparsity = timing::kDefaultWeightSparsity;
+    mem::Kind memKind = mem::Kind::Ideal;
     std::string perfJson;
     sim::MetricsRegistry::Progress progress =
         sim::MetricsRegistry::Progress::Off;
@@ -121,8 +128,8 @@ usage()
         "            --stats --layers --floor F --report-json PATH\n"
         "            --report-csv PATH --net NAME --trace-out PATH\n"
         "            --stall-csv PATH --max-events N --jobs N\n"
-        "            --weight-sparsity F --perf-json PATH\n"
-        "            --progress on|off|auto\n"
+        "            --weight-sparsity F --mem ideal|banked\n"
+        "            --perf-json PATH --progress on|off|auto\n"
         "  archs accepts --ids (bare registry ids, one per line)\n";
     // NOLINTNEXTLINE(concurrency-mt-unsafe)
     std::exit(2);
@@ -147,6 +154,23 @@ parseJobs(const std::string &value)
         std::exit(2);
     }
     return jobs;
+}
+
+/**
+ * Strict --mem parsing: one of the mem::Kind names, nothing else.
+ * Same exit-2 diagnostic convention as --jobs.
+ */
+mem::Kind
+parseMem(const std::string &value)
+{
+    const auto kind = mem::parseKind(value);
+    if (!kind) {
+        std::cerr << "cnvsim: invalid value '" << value
+                  << "' for --mem (expected 'ideal' or 'banked')\n";
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
+        std::exit(2);
+    }
+    return *kind;
 }
 
 CliOptions
@@ -199,6 +223,8 @@ parseOptions(const std::vector<std::string> &rawArgs, std::size_t start)
             opts.maxEvents = std::stoull(next());
         else if (args[i] == "--jobs")
             opts.jobs = parseJobs(next());
+        else if (args[i] == "--mem")
+            opts.memKind = parseMem(next());
         else if (args[i] == "--perf-json") {
             opts.perfJson = next();
             if (opts.perfJson.empty()) {
@@ -371,6 +397,7 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
     cfg.images = opts.images;
     cfg.seed = opts.seed;
     cfg.weightSparsity = opts.weightSparsity;
+    cfg.memKind = opts.memKind;
     std::unique_ptr<nn::Network> net;
     std::vector<const arch::ArchModel *> archs;
     {
@@ -395,6 +422,7 @@ cmdRun(nn::zoo::NetId id, const CliOptions &opts)
                 ropts.imageSeed = cfg.seed;
                 ropts.cache = &cache;
                 ropts.weightSparsity = cfg.weightSparsity;
+                ropts.memKind = cfg.memKind;
                 return archs[a]->simulateNetwork(cfg.node, *net, ropts);
             },
             [&](std::size_t a, dadiannao::NetworkResult &&result) {
@@ -467,6 +495,7 @@ cmdPower(nn::zoo::NetId id, const CliOptions &opts)
     cfg.images = opts.images;
     cfg.seed = opts.seed;
     cfg.weightSparsity = opts.weightSparsity;
+    cfg.memKind = opts.memKind;
     std::unique_ptr<nn::Network> net;
     std::vector<const arch::ArchModel *> archs;
     {
@@ -612,6 +641,7 @@ cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
     cfg.images = opts.images;
     cfg.seed = opts.seed;
     cfg.weightSparsity = opts.weightSparsity;
+    cfg.memKind = opts.memKind;
     const auto net = nn::zoo::build(id, cfg.seed);
 
     const auto archs = selectedArchs(opts);
@@ -624,6 +654,7 @@ cmdTrace(nn::zoo::NetId id, const CliOptions &opts)
             ropts.imageSeed = cfg.seed;
             ropts.cache = &cache;
             ropts.weightSparsity = cfg.weightSparsity;
+            ropts.memKind = cfg.memKind;
             return archs[a]->simulateNetwork(cfg.node, *net, ropts);
         },
         [&](std::size_t a, dadiannao::NetworkResult &&result) {

@@ -71,6 +71,7 @@ evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
             opts.prune = prune;
             opts.cache = shared;
             opts.weightSparsity = cfg.weightSparsity;
+            opts.memKind = cfg.memKind;
             auto run = model->simulateNetwork(cfg.node, net, opts);
             sim::metrics().tickProgress();
             return run;
@@ -80,6 +81,10 @@ evaluateNetworkArchs(const ExperimentConfig &cfg, const nn::Network &net,
             agg.cycles += run.totalCycles();
             agg.activity += run.totalActivity();
             agg.energy += run.totalEnergy();
+            if (run.memModelled) {
+                agg.mem += run.totalMem();
+                agg.memModelled = true;
+            }
         });
     sim::metrics().endProgress();
     return report;

@@ -18,6 +18,7 @@
 #include "arch/registry.h"
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
+#include "mem/memory_model.h"
 #include "nn/network.h"
 #include "nn/zoo/zoo.h"
 #include "timing/network_model.h"
@@ -38,6 +39,10 @@ struct ExperimentConfig
     /** Cnv2 weight-sparsity knob (timing::RunOptions::weightSparsity);
      *  ignored by architectures without weight skipping. */
     double weightSparsity = timing::kDefaultWeightSparsity;
+    /** Memory-hierarchy model (`--mem`): Ideal keeps pre-mem
+     *  reports byte-identical, Banked simulates NM banking, the
+     *  global buffer and the DRAM channel. */
+    mem::Kind memKind = mem::Kind::Ideal;
 };
 
 /** One architecture's aggregate over a network's image batch. */
@@ -48,6 +53,10 @@ struct ArchAggregate
     std::uint64_t cycles = 0; ///< summed over images
     dadiannao::Activity activity;
     dadiannao::EnergyCounters energy;
+    /** Memory-hierarchy counters summed over images (`--mem banked`
+     *  runs only; all zero with memModelled false otherwise). */
+    dadiannao::MemTrace mem;
+    bool memModelled = false;
 
     const std::string &id() const { return model->id(); }
 };

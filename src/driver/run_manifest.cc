@@ -25,6 +25,8 @@ RunManifest::writeJson(sim::JsonWriter &w) const
     w.key("seed").value(static_cast<std::uint64_t>(seed));
     w.key("jobs").value(jobs);
     w.key("weightSparsity").value(weightSparsity);
+    if (mem != "ideal")
+        w.key("mem").value(mem);
     w.key("wallSeconds").value(wallSeconds);
     w.endObject();
 }

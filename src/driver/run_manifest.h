@@ -48,6 +48,10 @@ struct RunManifest
      *  (--weight-sparsity); architectures without weight skipping
      *  ignore it but the provenance is recorded regardless. */
     double weightSparsity = 0.0;
+    /** Memory-hierarchy model the run executed with (--mem). Only
+     *  emitted when not "ideal", so ideal reports stay byte-
+     *  identical to pre-mem builds. */
+    std::string mem = "ideal";
     /** Wall-clock duration of the measured portion, in seconds. */
     double wallSeconds = 0.0;
 

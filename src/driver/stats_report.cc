@@ -1,6 +1,7 @@
 #include "driver/stats_report.h"
 
 #include "driver/trace_pipeline.h"
+#include "mem/memory_model.h"
 #include "sim/logging.h"
 #include "sim/metrics.h"
 #include "sim/parallel.h"
@@ -40,7 +41,8 @@ fillEnergy(sim::StatGroup &g, const dadiannao::EnergyCounters &e)
 }
 
 void
-fillMicro(sim::StatGroup &g, const dadiannao::MicroTrace &m)
+fillMicro(sim::StatGroup &g, const dadiannao::MicroTrace &m,
+          bool memModelled)
 {
     g.addCounter("laneBusyCycles",
                  "per-unit lane-cycles doing datapath work") +=
@@ -64,6 +66,23 @@ fillMicro(sim::StatGroup &g, const dadiannao::MicroTrace &m)
         sim::stallReasonName(sim::StallReason::SliceDrained),
         "lane-cycles idle with the lane's slice drained") +=
         m.stalls.sliceDrained;
+    // The memory stall reasons exist only on `--mem banked` runs;
+    // omitting them otherwise keeps ideal reports byte-identical
+    // to pre-mem builds.
+    if (memModelled) {
+        stalls.addCounter(
+            sim::stallReasonName(sim::StallReason::NmBankConflict),
+            "lane-cycles idle serialising on NM bank conflicts") +=
+            m.stalls.nmBankConflict;
+        stalls.addCounter(
+            sim::stallReasonName(sim::StallReason::GbMiss),
+            "lane-cycles idle on exposed global-buffer miss fills") +=
+            m.stalls.gbMiss;
+        stalls.addCounter(
+            sim::stallReasonName(sim::StallReason::DramWait),
+            "lane-cycles idle on off-chip activation spills") +=
+            m.stalls.dramWait;
+    }
     g.addCounter("encoderBusyCycles",
                  "cycles the serial encoder spent converting") +=
         m.encoderBusyCycles;
@@ -72,6 +91,50 @@ fillMicro(sim::StatGroup &g, const dadiannao::MicroTrace &m)
     g.addFormula("laneUtilisation",
                  "busy fraction of modelled lane-cycles",
                  [m] { return m.laneUtilisation(); });
+}
+
+/** Idle lane-cycles attributed to the memory hierarchy. */
+std::uint64_t
+memStallCycles(const dadiannao::StallBreakdown &s)
+{
+    return s.nmBankConflict + s.gbMiss + s.dramWait;
+}
+
+/** Memory-bound: over half the layer's lane-cycles wait on memory. */
+bool
+isMemoryBound(const dadiannao::MicroTrace &m)
+{
+    const std::uint64_t total = m.laneBusyCycles + m.laneIdleCycles;
+    return total > 0 && memStallCycles(m.stalls) * 2 > total;
+}
+
+void
+fillMemory(sim::StatGroup &g, const dadiannao::MemTrace &mem,
+           const dadiannao::MicroTrace &micro)
+{
+    g.addCounter("nmAccesses", "brick-granular NM reads issued") +=
+        mem.nmAccesses;
+    g.addCounter("nmConflictCycles",
+                 "extra cycles serialising on NM bank conflicts") +=
+        mem.nmConflictCycles;
+    g.addCounter("gbHits", "global-buffer hits") += mem.gbHits;
+    g.addCounter("gbMisses", "global-buffer misses") += mem.gbMisses;
+    g.addCounter("gbEvictions", "global-buffer capacity evictions") +=
+        mem.gbEvictions;
+    g.addCounter("dramBytes", "off-chip bytes transferred") +=
+        mem.dramBytes;
+    g.addCounter("dramCycles", "DRAM channel busy cycles") +=
+        mem.dramCycles;
+    const std::uint64_t memStall = memStallCycles(micro.stalls);
+    const std::uint64_t total =
+        micro.laneBusyCycles + micro.laneIdleCycles;
+    g.addFormula("memStallShare",
+                 "fraction of lane-cycles idle on the memory hierarchy",
+                 [memStall, total] {
+                     return total > 0 ? static_cast<double>(memStall) /
+                                            static_cast<double>(total)
+                                      : 0.0;
+                 });
 }
 
 } // namespace
@@ -88,7 +151,11 @@ buildStats(const dadiannao::NetworkResult &result,
     const dadiannao::Activity activity = result.totalActivity();
     fillActivity(root->addGroup("activity"), activity);
     fillEnergy(root->addGroup("energy"), result.totalEnergy());
-    fillMicro(root->addGroup("micro"), result.totalMicro());
+    fillMicro(root->addGroup("micro"), result.totalMicro(),
+              result.memModelled);
+    if (result.memModelled)
+        fillMemory(root->addGroup("memory"), result.totalMem(),
+                   result.totalMicro());
 
     // Derived quantities the paper reasons about.
     const double total = static_cast<double>(activity.total());
@@ -136,7 +203,16 @@ buildStats(const dadiannao::NetworkResult &result,
             layer.startCycle;
         fillActivity(g.addGroup("activity"), layer.activity);
         fillEnergy(g.addGroup("energy"), layer.energy);
-        fillMicro(g.addGroup("micro"), layer.micro);
+        fillMicro(g.addGroup("micro"), layer.micro, result.memModelled);
+        if (result.memModelled) {
+            fillMemory(g.addGroup("memory"), layer.mem, layer.micro);
+            g.addFormula("memoryBound",
+                         "1 when over half the layer's lane-cycles "
+                         "wait on the memory hierarchy",
+                         [bound = isMemoryBound(layer.micro)] {
+                             return bound ? 1.0 : 0.0;
+                         });
+        }
     }
     return root;
 }
@@ -154,6 +230,7 @@ buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
     report.manifest.images = cfg.images;
     report.manifest.seed = cfg.seed;
     report.manifest.weightSparsity = cfg.weightSparsity;
+    report.manifest.mem = mem::kindName(cfg.memKind);
 
     // The timelines and the aggregate share one cache, so the
     // report's counters reflect the whole run's reuse.
@@ -167,6 +244,7 @@ buildRunReport(const ExperimentConfig &cfg, const nn::Network &net,
             opts.prune = prune;
             opts.cache = &cache;
             opts.weightSparsity = cfg.weightSparsity;
+            opts.memKind = cfg.memKind;
             return archs[a]->simulateNetwork(cfg.node, net, opts);
         },
         [&](std::size_t a, dadiannao::NetworkResult &&result) {
@@ -216,6 +294,37 @@ writeReportJson(const RunReport &report, std::ostream &os)
     w.key("countMapHits").value(report.cacheStats.countMapHits);
     w.key("countMapMisses").value(report.cacheStats.countMapMisses);
     w.endObject();
+    // Memory-hierarchy summary: aggregate counters over all images
+    // plus the single-image timeline's memory-bound vs compute-bound
+    // layer split. Only present on `--mem banked` runs.
+    bool anyMem = false;
+    for (const ArchAggregate &a : report.aggregate.archs)
+        anyMem = anyMem || a.memModelled;
+    if (anyMem) {
+        w.key("memory").beginObject();
+        for (const ArchAggregate &a : report.aggregate.archs) {
+            w.key(a.id()).beginObject();
+            w.key("nmAccesses").value(a.mem.nmAccesses);
+            w.key("nmConflictCycles").value(a.mem.nmConflictCycles);
+            w.key("gbHits").value(a.mem.gbHits);
+            w.key("gbMisses").value(a.mem.gbMisses);
+            w.key("gbEvictions").value(a.mem.gbEvictions);
+            w.key("dramBytes").value(a.mem.dramBytes);
+            w.key("dramCycles").value(a.mem.dramCycles);
+            std::uint64_t memoryBound = 0, computeBound = 0;
+            for (const ArchTimeline &t : report.timelines) {
+                if (t.model != a.model)
+                    continue;
+                for (const dadiannao::LayerResult &l : t.result.layers)
+                    (isMemoryBound(l.micro) ? memoryBound
+                                            : computeBound)++;
+            }
+            w.key("memoryBoundLayers").value(memoryBound);
+            w.key("computeBoundLayers").value(computeBound);
+            w.endObject();
+        }
+        w.endObject();
+    }
     // Legacy two-architecture trio: kept whenever the canonical pair
     // is part of the selection so existing consumers keep parsing.
     const ArchAggregate *base = report.aggregate.findArch("dadiannao");
@@ -258,6 +367,8 @@ writeReportCsv(const RunReport &report, std::ostream &os)
     manifestRow("jobs", std::to_string(m.jobs), "worker-pool job count");
     manifestRow("weightSparsity", sim::strfmt("{}", m.weightSparsity),
                 "Cnv2 weight-sparsity knob");
+    if (m.mem != "ideal")
+        manifestRow("mem", m.mem, "memory-hierarchy model");
     manifestRow("wallSeconds", sim::strfmt("{}", m.wallSeconds),
                 "wall-clock duration of the run");
 
@@ -280,6 +391,25 @@ writeReportCsv(const RunReport &report, std::ostream &os)
        << ",trace-cache count-map lookups served from cache\n";
     os << "summary.cache.countMapMisses,summary," << cs.countMapMisses
        << ",trace-cache count maps computed\n";
+    for (const ArchAggregate &a : report.aggregate.archs) {
+        if (!a.memModelled)
+            continue;
+        const std::string p = "summary.memory." + a.id();
+        os << p << ".nmAccesses,summary," << a.mem.nmAccesses
+           << ",brick-granular NM reads issued\n";
+        os << p << ".nmConflictCycles,summary," << a.mem.nmConflictCycles
+           << ",extra cycles serialising on NM bank conflicts\n";
+        os << p << ".gbHits,summary," << a.mem.gbHits
+           << ",global-buffer hits\n";
+        os << p << ".gbMisses,summary," << a.mem.gbMisses
+           << ",global-buffer misses\n";
+        os << p << ".gbEvictions,summary," << a.mem.gbEvictions
+           << ",global-buffer capacity evictions\n";
+        os << p << ".dramBytes,summary," << a.mem.dramBytes
+           << ",off-chip bytes transferred\n";
+        os << p << ".dramCycles,summary," << a.mem.dramCycles
+           << ",DRAM channel busy cycles\n";
+    }
     const ArchAggregate *base = report.aggregate.findArch("dadiannao");
     const ArchAggregate *cnvAgg = report.aggregate.findArch("cnv");
     if (base != nullptr && cnvAgg != nullptr) {

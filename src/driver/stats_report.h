@@ -94,6 +94,9 @@ RunReport buildRunReport(const ExperimentConfig &cfg,
  *                  "archs": { "<arch id>": { "cycles" }, ... },
  *                  "cache": { "tensorHits", "tensorMisses",
  *                             "countMapHits", "countMapMisses" },
+ *                  "memory": { "<arch id>": { "nmAccesses", ...,
+ *                              "memoryBoundLayers",
+ *                              "computeBoundLayers" }, ... },
  *                  "baselineCycles", "cnvCycles", "speedup" } }
  *
  * where each stat tree follows the sim::exportJson() layout. The

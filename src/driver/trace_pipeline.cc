@@ -25,6 +25,9 @@ reasonCycles(const dadiannao::StallBreakdown &s, sim::StallReason r)
       case sim::StallReason::WindowBarrier: return s.windowBarrier;
       case sim::StallReason::SynapseWait: return s.synapseWait;
       case sim::StallReason::SliceDrained: return s.sliceDrained;
+      case sim::StallReason::NmBankConflict: return s.nmBankConflict;
+      case sim::StallReason::GbMiss: return s.gbMiss;
+      case sim::StallReason::DramWait: return s.dramWait;
     }
     return 0;
 }
@@ -40,6 +43,7 @@ appendNetworkTrace(sim::TraceSink &sink,
     constexpr std::uint32_t kStallTidBase = 1;
     constexpr std::uint32_t kEncoderTid =
         kStallTidBase + sim::kStallReasonCount;
+    constexpr std::uint32_t kDramTid = kEncoderTid + 1;
 
     sink.setProcessName(pid, processName);
     sink.setThreadName(pid, kLayersTid, "layers");
@@ -50,6 +54,8 @@ appendNetworkTrace(sim::TraceSink &sink,
                            sim::stallReasonName(r));
     }
     sink.setThreadName(pid, kEncoderTid, "encoder");
+    if (result.memModelled)
+        sink.setThreadName(pid, kDramTid, "dram");
 
     // Layer and stall spans first: they carry the quantitative
     // payload (the stall profile folds from them), so a capped sink
@@ -89,6 +95,16 @@ appendNetworkTrace(sim::TraceSink &sink,
                 {sim::TraceArg("busyCycles",
                                layer.micro.encoderBusyCycles),
                  sim::TraceArg("bricks", layer.micro.encoderBricks)});
+        }
+        if (result.memModelled && layer.mem.dramCycles > 0) {
+            // DRAM bursts overlap compute (synapse prefetch), so the
+            // channel-busy count may exceed the layer's cycles; clamp
+            // for display and carry the real counters in the args.
+            sink.complete(
+                pid, kDramTid, "dram-burst", "dram", layer.startCycle,
+                std::min(layer.mem.dramCycles, layer.cycles),
+                {sim::TraceArg("bytes", layer.mem.dramBytes),
+                 sim::TraceArg("busyCycles", layer.mem.dramCycles)});
         }
     }
 

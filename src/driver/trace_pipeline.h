@@ -42,12 +42,15 @@ std::string layerStatKey(int index, const std::string &name);
  *
  *  - tid 0 "layers": one span per layer over [startCycle, +cycles),
  *    cat "layer", with busy/idle lane-cycle args;
- *  - tids 1..4, one per sim::StallReason: a span per layer with
+ *  - tids 1..7, one per sim::StallReason: a span per layer with
  *    idle lane-cycles of that reason, cat "stall", named after the
  *    reason, args {layer: layerStatKey, laneCycles: amount};
- *  - tid 5 "encoder": an "encode" span (cat "encoder") per layer
+ *  - tid 8 "encoder": an "encode" span (cat "encoder") per layer
  *    that used the encoder, clamped to the layer's cycles (the real
  *    overlap-capable busy count rides in the busyCycles arg);
+ *  - tid 9 "dram" (`--mem banked` runs only): a "dram-burst" span
+ *    (cat "dram") per layer that moved off-chip bytes, clamped to
+ *    the layer's cycles, args {bytes, busyCycles};
  *  - a "laneUtilisation" counter sampled at each layer boundary.
  *
  * Layer and stall spans are emitted before the counter samples so a

@@ -1,0 +1,94 @@
+#include "mem/banked_nm.h"
+
+#include <algorithm>
+
+#include "mem/fifo.h"
+#include "sim/logging.h"
+
+namespace cnv::mem {
+
+BankedNm::BankedNm(int banks, bool slicedFetch)
+    : banks_(banks), slicedFetch_(slicedFetch)
+{
+    CNV_ASSERT(banks > 0, "banked NM needs at least one bank, got {}",
+               banks);
+}
+
+std::uint64_t
+BankedNm::serveGroup(const std::vector<Access> &fetches)
+{
+    if (fetches.empty())
+        return 0;
+
+    // One in-order fetch stream per slice pointer; the baseline's
+    // single unit-wide pointer is one stream and trivially
+    // conflict-free (one bank access per cycle).
+    int streams = 1;
+    if (slicedFetch_) {
+        for (const Access &f : fetches)
+            streams = std::max(streams, f.lane + 1);
+    }
+    std::vector<Fifo<int>> queue;
+    queue.reserve(static_cast<std::size_t>(streams));
+    for (int s = 0; s < streams; ++s)
+        queue.emplace_back(fetches.size());
+    for (const Access &f : fetches) {
+        const int s = slicedFetch_ ? f.lane : 0;
+        CNV_ASSERT(s >= 0 && s < streams, "fetch lane {} out of range", s);
+        const bool ok = queue[static_cast<std::size_t>(s)].push(
+            static_cast<int>(f.address % static_cast<std::uint64_t>(banks_)));
+        CNV_ASSERT(ok, "slice fetch queue overflowed");
+    }
+
+    // Replay rounds: every non-empty stream presents its head; a
+    // bank with n heads serialises them over n cycles, so the round
+    // takes the max per-bank count and the excess past one cycle is
+    // the conflict cost.
+    std::uint64_t conflict = 0;
+    std::vector<std::uint32_t> perBank(static_cast<std::size_t>(banks_));
+    bool any = true;
+    while (any) {
+        any = false;
+        std::fill(perBank.begin(), perBank.end(), 0u);
+        for (Fifo<int> &q : queue) {
+            if (q.empty())
+                continue;
+            ++perBank[static_cast<std::size_t>(q.front())];
+            q.pop();
+            any = true;
+        }
+        if (!any)
+            break;
+        const std::uint32_t busiest =
+            *std::max_element(perBank.begin(), perBank.end());
+        conflict += busiest - 1;
+    }
+
+    core::MutexLock lock(mu_);
+    accesses_ += fetches.size();
+    conflictCycles_ += conflict;
+    return conflict;
+}
+
+void
+BankedNm::addSequential(std::uint64_t reads)
+{
+    core::MutexLock lock(mu_);
+    accesses_ += reads;
+}
+
+std::uint64_t
+BankedNm::accesses() const
+{
+    core::MutexLock lock(mu_);
+    return accesses_;
+}
+
+std::uint64_t
+BankedNm::conflictCycles() const
+{
+    core::MutexLock lock(mu_);
+    return conflictCycles_;
+}
+
+} // namespace cnv::mem

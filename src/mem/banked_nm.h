@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Banked neuron memory with per-bank fetch-pointer conflict
+ * accounting. CNV gives every neuron lane its own slice fetch
+ * pointer (sixteen independent streams, paper Section 4) where
+ * DaDianNao advances one unit-wide pointer; independent pointers
+ * can land on the same NM bank in the same cycle, and the bank
+ * serialises them. serveGroup() replays one window group's fetch
+ * streams round by round and returns the serialisation cost;
+ * tests/mem/test_banked_nm.cc pins a hand-worked 4-bank example.
+ */
+
+#ifndef CNV_MEM_BANKED_NM_H
+#define CNV_MEM_BANKED_NM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
+#include "mem/memory_model.h"
+
+namespace cnv::mem {
+
+/** The banked NM array and its conflict/access counters. */
+class BankedNm
+{
+  public:
+    /**
+     * @param banks Bank count (> 0); a brick at address A lives in
+     *        bank A % banks (linear interleave).
+     * @param slicedFetch Per-lane slice pointers (CNV) when true;
+     *        one unit-wide pointer (baseline) when false.
+     */
+    BankedNm(int banks, bool slicedFetch);
+
+    /**
+     * Serve one synchronised group of brick fetches (the global-
+     * buffer misses of a window group) and return the extra cycles
+     * the group serialises on bank conflicts.
+     *
+     * With sliced fetch each lane's accesses form an in-order
+     * stream; cycle by cycle every non-empty stream presents its
+     * head fetch, a bank serving n heads takes n cycles, and the
+     * round costs max-per-bank cycles instead of one — the excess
+     * is the conflict cost. A single unit-wide pointer (slicedFetch
+     * false) issues one fetch per cycle and can never conflict.
+     */
+    std::uint64_t serveGroup(const std::vector<Access> &fetches)
+        CNV_EXCLUDES(mu_);
+
+    /** Account sequential unit-wide-pointer reads (no conflicts). */
+    void addSequential(std::uint64_t reads) CNV_EXCLUDES(mu_);
+
+    /** Cumulative NM reads issued. */
+    std::uint64_t accesses() const CNV_EXCLUDES(mu_);
+
+    /** Cumulative cycles lost to bank conflicts. */
+    std::uint64_t conflictCycles() const CNV_EXCLUDES(mu_);
+
+    int
+    banks() const
+    {
+        return banks_;
+    }
+
+  private:
+    const int banks_;
+    const bool slicedFetch_;
+
+    mutable core::Mutex mu_;
+    std::uint64_t accesses_ CNV_GUARDED_BY(mu_) = 0;
+    std::uint64_t conflictCycles_ CNV_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace cnv::mem
+
+#endif // CNV_MEM_BANKED_NM_H

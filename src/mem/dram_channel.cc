@@ -1,0 +1,39 @@
+#include "mem/dram_channel.h"
+
+#include "sim/logging.h"
+
+namespace cnv::mem {
+
+DramChannel::DramChannel(std::uint64_t bytesPerCycle)
+    : bytesPerCycle_(bytesPerCycle)
+{
+    CNV_ASSERT(bytesPerCycle > 0,
+               "DRAM channel needs a positive bandwidth");
+}
+
+std::uint64_t
+DramChannel::transfer(std::uint64_t bytes)
+{
+    const std::uint64_t busy =
+        (bytes + bytesPerCycle_ - 1) / bytesPerCycle_;
+    core::MutexLock lock(mu_);
+    bytes_ += bytes;
+    cycles_ += busy;
+    return busy;
+}
+
+std::uint64_t
+DramChannel::bytes() const
+{
+    core::MutexLock lock(mu_);
+    return bytes_;
+}
+
+std::uint64_t
+DramChannel::cycles() const
+{
+    core::MutexLock lock(mu_);
+    return cycles_;
+}
+
+} // namespace cnv::mem

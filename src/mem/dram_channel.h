@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Off-chip DRAM channel: converts transfer bytes into channel-busy
+ * cycles at a fixed bytes-per-cycle bandwidth and accumulates the
+ * per-run traffic totals. Used for activation footprints that spill
+ * past the NM capacity (exposed as `dram_wait` stalls) and for the
+ * synapse streams the overlap tracker already times (recorded here
+ * for traffic accounting only).
+ */
+
+#ifndef CNV_MEM_DRAM_CHANNEL_H
+#define CNV_MEM_DRAM_CHANNEL_H
+
+#include <cstdint>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
+
+namespace cnv::mem {
+
+/** Fixed-bandwidth off-chip channel with byte/cycle counters. */
+class DramChannel
+{
+  public:
+    /** @param bytesPerCycle Channel bandwidth (> 0). */
+    explicit DramChannel(std::uint64_t bytesPerCycle);
+
+    /**
+     * Stream `bytes` over the channel; returns the busy cycles
+     * (ceiling of bytes over the per-cycle bandwidth).
+     */
+    std::uint64_t transfer(std::uint64_t bytes) CNV_EXCLUDES(mu_);
+
+    std::uint64_t bytes() const CNV_EXCLUDES(mu_);
+    std::uint64_t cycles() const CNV_EXCLUDES(mu_);
+
+    std::uint64_t
+    bytesPerCycle() const
+    {
+        return bytesPerCycle_;
+    }
+
+  private:
+    const std::uint64_t bytesPerCycle_;
+
+    mutable core::Mutex mu_;
+    std::uint64_t bytes_ CNV_GUARDED_BY(mu_) = 0;
+    std::uint64_t cycles_ CNV_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace cnv::mem
+
+#endif // CNV_MEM_DRAM_CHANNEL_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded single-threaded FIFO queue used by the memory-hierarchy
+ * components (per-slice fetch queues in mem::BankedNm). A fixed-
+ * capacity ring buffer: push() refuses (returns false) when full
+ * instead of growing, so queue depths model real hardware buffers
+ * and overflow is an observable event, never a silent reallocation.
+ *
+ * Ordering is strict FIFO; tests/mem/test_fifo.cc pins both the
+ * bound and the ordering.
+ */
+
+#ifndef CNV_MEM_FIFO_H
+#define CNV_MEM_FIFO_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace cnv::mem {
+
+/** Fixed-capacity FIFO ring buffer (capacity set at construction). */
+template <typename T> class Fifo
+{
+  public:
+    explicit Fifo(std::size_t capacity) : slots_(capacity) {}
+
+    /** Maximum number of entries the queue can hold. */
+    std::size_t
+    capacity() const
+    {
+        return slots_.size();
+    }
+
+    /** Entries currently queued. */
+    std::size_t
+    size() const
+    {
+        return count_;
+    }
+
+    bool
+    empty() const
+    {
+        return count_ == 0;
+    }
+
+    bool
+    full() const
+    {
+        return count_ == slots_.size();
+    }
+
+    /** Enqueue; false (and no change) when the queue is full. */
+    bool
+    push(const T &value)
+    {
+        if (full())
+            return false;
+        slots_[(head_ + count_) % slots_.size()] = value;
+        ++count_;
+        return true;
+    }
+
+    /** Oldest entry; the queue must not be empty. */
+    const T &
+    front() const
+    {
+        CNV_ASSERT(!empty(), "front() on an empty Fifo");
+        return slots_[head_];
+    }
+
+    /** Drop the oldest entry; the queue must not be empty. */
+    void
+    pop()
+    {
+        CNV_ASSERT(!empty(), "pop() on an empty Fifo");
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace cnv::mem
+
+#endif // CNV_MEM_FIFO_H

@@ -1,0 +1,73 @@
+#include "mem/global_buffer.h"
+
+#include <limits>
+
+#include "sim/logging.h"
+
+namespace cnv::mem {
+
+namespace {
+
+/** Sentinel tag for an unoccupied slot. */
+constexpr std::uint64_t kEmpty = std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
+
+GlobalBuffer::GlobalBuffer(std::uint64_t lines) : lines_(lines)
+{
+    CNV_ASSERT(lines > 0, "global buffer needs at least one line");
+    tag_.assign(static_cast<std::size_t>(lines), kEmpty);
+}
+
+std::uint64_t
+GlobalBuffer::filterGroup(const std::vector<Access> &fetches,
+                          std::vector<Access> &misses)
+{
+    core::MutexLock lock(mu_);
+    std::uint64_t missed = 0;
+    for (const Access &f : fetches) {
+        const std::size_t slot =
+            static_cast<std::size_t>(f.address % lines_);
+        if (tag_[slot] == f.address) {
+            ++hits_;
+            continue;
+        }
+        if (tag_[slot] != kEmpty)
+            ++evictions_;
+        tag_[slot] = f.address;
+        ++misses_;
+        ++missed;
+        misses.push_back(f);
+    }
+    return missed;
+}
+
+void
+GlobalBuffer::invalidate()
+{
+    core::MutexLock lock(mu_);
+    tag_.assign(tag_.size(), kEmpty);
+}
+
+std::uint64_t
+GlobalBuffer::hits() const
+{
+    core::MutexLock lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+GlobalBuffer::misses() const
+{
+    core::MutexLock lock(mu_);
+    return misses_;
+}
+
+std::uint64_t
+GlobalBuffer::evictions() const
+{
+    core::MutexLock lock(mu_);
+    return evictions_;
+}
+
+} // namespace cnv::mem

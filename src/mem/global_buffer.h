@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared global buffer: a small direct-mapped staging cache of
+ * brick lines in front of the banked NM. Window groups overlap and
+ * filter passes re-read the same activation bricks; lines that hit
+ * here never reach the NM banks (and so never conflict), while
+ * misses are filled one line per cycle. Deterministic by
+ * construction — a pure function of the access sequence — so
+ * reports stay byte-identical at any --jobs count.
+ */
+
+#ifndef CNV_MEM_GLOBAL_BUFFER_H
+#define CNV_MEM_GLOBAL_BUFFER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
+#include "mem/memory_model.h"
+
+namespace cnv::mem {
+
+/** Direct-mapped brick-line buffer with hit/miss/evict counters. */
+class GlobalBuffer
+{
+  public:
+    /** @param lines Capacity in brick lines (> 0). */
+    explicit GlobalBuffer(std::uint64_t lines);
+
+    /**
+     * Look up one group's fetches; hits are absorbed, misses are
+     * installed (evicting any resident line mapped to the same
+     * slot) and appended to `misses` for the NM to serve. Returns
+     * the number of misses appended.
+     */
+    std::uint64_t filterGroup(const std::vector<Access> &fetches,
+                              std::vector<Access> &misses)
+        CNV_EXCLUDES(mu_);
+
+    /** Drop every resident line (layer epoch boundary). */
+    void invalidate() CNV_EXCLUDES(mu_);
+
+    std::uint64_t hits() const CNV_EXCLUDES(mu_);
+    std::uint64_t misses() const CNV_EXCLUDES(mu_);
+    std::uint64_t evictions() const CNV_EXCLUDES(mu_);
+
+    std::uint64_t
+    lines() const
+    {
+        return lines_;
+    }
+
+  private:
+    const std::uint64_t lines_;
+
+    mutable core::Mutex mu_;
+    /** Resident address per slot; kEmpty when the slot is free. */
+    std::vector<std::uint64_t> tag_ CNV_GUARDED_BY(mu_);
+    std::uint64_t hits_ CNV_GUARDED_BY(mu_) = 0;
+    std::uint64_t misses_ CNV_GUARDED_BY(mu_) = 0;
+    std::uint64_t evictions_ CNV_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace cnv::mem
+
+#endif // CNV_MEM_GLOBAL_BUFFER_H

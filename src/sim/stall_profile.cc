@@ -13,6 +13,9 @@ stallReasonName(StallReason r)
       case StallReason::WindowBarrier: return "window_barrier";
       case StallReason::SynapseWait: return "synapse_wait";
       case StallReason::SliceDrained: return "slice_drained";
+      case StallReason::NmBankConflict: return "nm_bank_conflict";
+      case StallReason::GbMiss: return "gb_miss";
+      case StallReason::DramWait: return "dram_wait";
     }
     CNV_PANIC("invalid stall reason {}", static_cast<int>(r));
 }
@@ -134,6 +137,9 @@ StallProfile::attachStats(StatGroup &parent) const
         "lane-cycles idle at window-group sync barriers",
         "lane-cycles idle on the off-chip synapse stream",
         "lane-cycles idle with the lane's slice drained",
+        "lane-cycles idle serialising on NM bank conflicts",
+        "lane-cycles idle on exposed global-buffer miss fills",
+        "lane-cycles idle on off-chip activation spills",
     };
     for (int i = 0; i < kStallReasonCount; ++i) {
         const auto r = static_cast<StallReason>(i);

@@ -46,10 +46,19 @@ enum class StallReason {
     /** Lane's slice ran dry inside the structural pipeline while
      *  other lanes were still draining theirs. */
     SliceDrained,
+    /** Independent slice fetch pointers landed on the same NM bank
+     *  and serialised (`--mem banked`, mem::BankedNm). */
+    NmBankConflict,
+    /** Global-buffer miss fills not hidden behind the window
+     *  group's compute (`--mem banked`, mem::GlobalBuffer). */
+    GbMiss,
+    /** Whole node idle on an off-chip activation spill past the NM
+     *  capacity (`--mem banked`, mem::DramChannel). */
+    DramWait,
 };
 
 /** Number of distinct stall reasons. */
-inline constexpr int kStallReasonCount = 4;
+inline constexpr int kStallReasonCount = 7;
 
 /** Stable snake_case name ("brick_buffer_empty", ...). */
 const char *stallReasonName(StallReason r);

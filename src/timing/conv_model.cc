@@ -38,7 +38,8 @@ coverage1d(int inDim, int outDim, int f, int stride, int pad)
 
 LayerResult
 convBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
-             const Shape3 &inShape, const CountMap &counts, bool isConv1)
+             const Shape3 &inShape, const CountMap &counts, bool isConv1,
+             mem::MemoryModel *mem)
 {
     const Shape3 outShape = p.outputShape(inShape);
     const int lanes = cfg.lanes;
@@ -114,6 +115,11 @@ convBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
                 (fCount + cfg.filtersPerUnit - 1) / cfg.filtersPerUnit;
             const std::uint64_t passCycles = groupCycles;
 
+            // One unit-wide NM row per cycle behind a single fetch
+            // pointer: a strictly sequential stream that can never
+            // conflict with itself, whatever the banking.
+            if (mem)
+                mem->fetchSequential(passCycles);
             r.cycles += passCycles;
             if (isConv1) {
                 r.activity.conv1 += coveredSlots * units;
@@ -140,7 +146,8 @@ convBaseline(const NodeConfig &cfg, const nn::ConvParams &p,
 
 LayerResult
 convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
-        const Shape3 &inShape, const CountMap &counts)
+        const Shape3 &inShape, const CountMap &counts,
+        mem::MemoryModel *mem)
 {
     const Shape3 outShape = p.outputShape(inShape);
     const int lanes = cfg.lanes;
@@ -188,6 +195,12 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
         std::array<std::uint64_t, 64> laneTime{};
         CNV_ASSERT(lanes <= 64, "lane count above model limit");
 
+        // Brick addresses are linear over (cell, depth brick) so the
+        // banked NM's modulo interleave sees the real access pattern.
+        const std::uint64_t bricksTotal = static_cast<std::uint64_t>(
+            (inShape.z + cfg.brickSize - 1) / cfg.brickSize);
+        std::vector<mem::Access> fetches;
+
         // Windows are processed in row-major groups of up to
         // windowsInFlight(); lanes synchronise at group boundaries.
         const int inFlight = cfg.windowsInFlight();
@@ -199,6 +212,7 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
                 std::min<std::int64_t>(inFlight, totalWindows - w0));
 
             laneTime.fill(0);
+            fetches.clear();
             std::uint64_t nzBatch = 0;
             std::uint64_t cells = 0;
             int windowSeq = 0;
@@ -225,6 +239,13 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
                                 cfg.laneAssignment, ix, iy, brickBase + b,
                                 windowSeq++, lanes);
                             laneTime[lane] += bc[b];
+                            if (mem)
+                                fetches.push_back(
+                                    {lane,
+                                     static_cast<std::uint64_t>(c) *
+                                             bricksTotal +
+                                         static_cast<std::uint64_t>(
+                                             brickBase + b)});
                         }
                         nzBatch += nzCol[c];
                     }
@@ -264,6 +285,23 @@ convCnv(const NodeConfig &cfg, const nn::ConvParams &p,
                     laneSum;
                 r.micro.laneIdleCycles += barrier;
                 r.micro.stalls.windowBarrier += barrier;
+
+                if (mem) {
+                    // Each pass re-fetches the group's bricks (the
+                    // per-pass NM reads above); bank conflicts and
+                    // exposed global-buffer fills stretch the group
+                    // with every lane of every unit idle.
+                    const mem::GroupCost gc =
+                        mem->fetchGroup(fetches, groupCycles);
+                    const std::uint64_t extra =
+                        gc.conflictCycles + gc.gbFillCycles;
+                    r.cycles += extra;
+                    r.activity.stall += extra * lanes * units;
+                    r.micro.laneIdleCycles += extra * lanes;
+                    r.micro.stalls.nmBankConflict +=
+                        gc.conflictCycles * lanes;
+                    r.micro.stalls.gbMiss += gc.gbFillCycles * lanes;
+                }
             }
         }
     }
@@ -319,7 +357,7 @@ weightBrickIneffectual(int convIndex, int ky, int kx, int brick, int pass,
 LayerResult
 convCnv2(const NodeConfig &cfg, const nn::ConvParams &p,
          const Shape3 &inShape, const CountMap &counts, int convIndex,
-         double weightSparsity)
+         double weightSparsity, mem::MemoryModel *mem)
 {
     const Shape3 outShape = p.outputShape(inShape);
     const int lanes = cfg.lanes;
@@ -346,6 +384,10 @@ convCnv2(const NodeConfig &cfg, const nn::ConvParams &p,
         std::array<std::uint64_t, 64> laneTime{};
         CNV_ASSERT(lanes <= 64, "lane count above model limit");
 
+        const std::uint64_t bricksTotal = static_cast<std::uint64_t>(
+            (inShape.z + cfg.brickSize - 1) / cfg.brickSize);
+        std::vector<mem::Access> fetches;
+
         // Same window grouping as convCnv, but the lane cost of a
         // brick depends on the filter pass (each pass is a different
         // filter group with its own static weight schedule), so the
@@ -367,6 +409,7 @@ convCnv2(const NodeConfig &cfg, const nn::ConvParams &p,
                     cfg.filtersPerUnit;
 
                 laneTime.fill(0);
+                fetches.clear();
                 std::uint64_t nzPass = 0;
                 std::uint64_t cells = 0;
                 int windowSeq = 0;
@@ -388,6 +431,17 @@ convCnv2(const NodeConfig &cfg, const nn::ConvParams &p,
                                 const int lane = core::laneOf(
                                     cfg.laneAssignment, ix, iy,
                                     brickBase + b, windowSeq++, lanes);
+                                // The NM fetch happens whether or not
+                                // the brick is skipped, so record it
+                                // either way.
+                                if (mem)
+                                    fetches.push_back(
+                                        {lane,
+                                         (static_cast<std::uint64_t>(iy) *
+                                              inShape.x +
+                                          ix) * bricksTotal +
+                                             static_cast<std::uint64_t>(
+                                                 brickBase + b)});
                                 const std::uint32_t nz =
                                     counts.at(ix, iy, brickBase + b);
                                 std::uint64_t cost;
@@ -436,6 +490,19 @@ convCnv2(const NodeConfig &cfg, const nn::ConvParams &p,
                     laneSum;
                 r.micro.laneIdleCycles += barrier;
                 r.micro.stalls.windowBarrier += barrier;
+
+                if (mem) {
+                    const mem::GroupCost gc =
+                        mem->fetchGroup(fetches, groupCycles);
+                    const std::uint64_t extra =
+                        gc.conflictCycles + gc.gbFillCycles;
+                    r.cycles += extra;
+                    r.activity.stall += extra * lanes * units;
+                    r.micro.laneIdleCycles += extra * lanes;
+                    r.micro.stalls.nmBankConflict +=
+                        gc.conflictCycles * lanes;
+                    r.micro.stalls.gbMiss += gc.gbFillCycles * lanes;
+                }
             }
         }
     }

@@ -20,6 +20,7 @@
 
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
+#include "mem/memory_model.h"
 #include "nn/layer.h"
 #include "tensor/tensor.h"
 
@@ -36,17 +37,22 @@ using CountMap = tensor::Tensor3<std::uint8_t>;
  * @param inShape Input array shape.
  * @param counts Per-brick non-zero counts of the input.
  * @param isConv1 Account all processing as the conv1 category.
+ * @param mem Optional memory model every NM access is issued
+ *        against; nullptr (the ideal hierarchy) keeps the result
+ *        bit-identical to a model-free run.
  */
 dadiannao::LayerResult convBaseline(const dadiannao::NodeConfig &cfg,
                                     const nn::ConvParams &p,
                                     const tensor::Shape3 &inShape,
-                                    const CountMap &counts, bool isConv1);
+                                    const CountMap &counts, bool isConv1,
+                                    mem::MemoryModel *mem = nullptr);
 
 /** CNV conv layer timing in encoded (zero-skipping) mode. */
 dadiannao::LayerResult convCnv(const dadiannao::NodeConfig &cfg,
                                const nn::ConvParams &p,
                                const tensor::Shape3 &inShape,
-                               const CountMap &counts);
+                               const CountMap &counts,
+                               mem::MemoryModel *mem = nullptr);
 
 /**
  * Cnvlutin2 conv layer timing: encoded mode with ineffectual-weight
@@ -70,7 +76,8 @@ dadiannao::LayerResult convCnv2(const dadiannao::NodeConfig &cfg,
                                 const nn::ConvParams &p,
                                 const tensor::Shape3 &inShape,
                                 const CountMap &counts, int convIndex,
-                                double weightSparsity);
+                                double weightSparsity,
+                                mem::MemoryModel *mem = nullptr);
 
 } // namespace cnv::timing
 

@@ -84,6 +84,21 @@ fcInputZeroFraction(const nn::Network &net, int nodeId)
     return 0.0;
 }
 
+/** Copy a drained mem::Counters delta into the result-record POD. */
+dadiannao::MemTrace
+toMemTrace(const mem::Counters &c)
+{
+    dadiannao::MemTrace m;
+    m.nmAccesses = c.nmAccesses;
+    m.nmConflictCycles = c.nmConflictCycles;
+    m.gbHits = c.gbHits;
+    m.gbMisses = c.gbMisses;
+    m.gbEvictions = c.gbEvictions;
+    m.dramBytes = c.dramBytes;
+    m.dramCycles = c.dramCycles;
+    return m;
+}
+
 /**
  * Extension: CNV-style zero skipping applied to a fully-connected
  * layer. Both the datapath work and the off-chip synapse stream
@@ -135,31 +150,39 @@ fcCnvTiming(const dadiannao::NodeConfig &cfg, const nn::Node &node,
 
 LayerResult
 convLayerTiming(const NodeConfig &cfg, Arch arch, const nn::Node &node,
-                const CountMap &counts, double weightSparsity)
+                const CountMap &counts, double weightSparsity,
+                mem::MemoryModel *mem)
 {
-    const auto encodedTiming = [&]() {
+    const auto encodedTiming = [&](mem::MemoryModel *m) {
         return arch == Arch::Cnv2
             ? convCnv2(cfg, node.conv, node.inShape, counts,
-                       node.convIndex, weightSparsity)
-            : convCnv(cfg, node.conv, node.inShape, counts);
+                       node.convIndex, weightSparsity, m)
+            : convCnv(cfg, node.conv, node.inShape, counts, m);
     };
     LayerResult conv;
     if (arch == Arch::Baseline || node.convIndex == 0) {
         conv = convBaseline(cfg, node.conv, node.inShape, counts,
-                            node.convIndex == 0);
+                            node.convIndex == 0, mem);
     } else if (cfg.layerModePolicy ==
                dadiannao::LayerModePolicy::Profitable) {
         // Software sets the per-layer encoded/conventional flag;
         // with the profitable policy it picks the cheaper of the
         // two (estimable from the encoder's non-zero counts of the
-        // previous layer).
-        LayerResult encoded = encodedTiming();
+        // previous layer). Both estimates stay side-effect-free
+        // (no memory model); only the winning mode replays its
+        // accesses against the real model, so its state advances
+        // exactly once per layer.
+        LayerResult encoded = encodedTiming(nullptr);
         LayerResult conventional =
             convBaseline(cfg, node.conv, node.inShape, counts, false);
-        conv = encoded.cycles <= conventional.cycles
-            ? std::move(encoded) : std::move(conventional);
+        if (encoded.cycles <= conventional.cycles)
+            conv = mem ? encodedTiming(mem) : std::move(encoded);
+        else
+            conv = mem ? convBaseline(cfg, node.conv, node.inShape,
+                                      counts, false, mem)
+                       : std::move(conventional);
     } else {
-        conv = encodedTiming();
+        conv = encodedTiming(mem);
     }
     conv.name = node.name;
     return conv;
@@ -186,6 +209,28 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
     result.network = net.name();
     result.architecture = archName(arch);
 
+    // One model instance per simulateNetwork call (per arch x image
+    // task): components lock internally, but single-owner use keeps
+    // runs deterministic at any --jobs count.
+    mem::Geometry memGeo = opts.memGeometry;
+    std::unique_ptr<mem::MemoryModel> memModel;
+    if (opts.memKind != mem::Kind::Ideal) {
+        if (memGeo.banks == 0) {
+            memGeo.banks = cfg.nmBanks;
+            memGeo.slicedFetch = arch != Arch::Baseline;
+            memGeo.nmBytes = cfg.nmBytes;
+            memGeo.dramBytesPerCycle = cfg.offchipBytesPerCycle;
+        }
+        memModel = mem::makeMemoryModel(opts.memKind, memGeo);
+        result.memModelled = true;
+    }
+    // Fold the model's per-layer counter delta into the layer just
+    // pushed (also resets the global buffer at the boundary).
+    const auto drainInto = [&] {
+        if (memModel && !result.layers.empty())
+            result.layers.back().mem += toMemTrace(memModel->drainLayer());
+    };
+
     OverlapTracker overlap;
 
     for (int id = 0; id < net.nodeCount(); ++id) {
@@ -206,8 +251,17 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
                 loadStall.cycles * static_cast<std::uint64_t>(cfg.lanes);
             loadStall.micro.stalls.synapseWait =
                 loadStall.micro.laneIdleCycles;
-            if (loadStall.cycles > 0)
+            // Synapse traffic goes through the DRAM channel; its
+            // wait time is already modelled by the OverlapTracker,
+            // so only the traffic counters are kept. When the load
+            // is fully hidden (no layer pushed) the traffic drains
+            // into the conv layer below instead.
+            if (memModel && loadStall.energy.offchipBytes > 0)
+                memModel->dramTransfer(loadStall.energy.offchipBytes);
+            if (loadStall.cycles > 0) {
                 result.layers.push_back(loadStall);
+                drainInto();
+            }
 
             // The baseline's cycle count is content-independent, but
             // its zero/non-zero activity split is not, so both
@@ -242,18 +296,58 @@ simulateNetwork(const NodeConfig &cfg, const nn::Network &net, Arch arch,
             const CountMap &counts = cached ? *cached : local;
 
             LayerResult conv = convLayerTiming(cfg, arch, n, counts,
-                                               opts.weightSparsity);
+                                               opts.weightSparsity,
+                                               memModel.get());
             overlap.deposit(conv.cycles);
             result.layers.push_back(conv);
+            drainInto();
+
+            // Activations past the NM capacity spill off-chip: a
+            // whole-node wait on the DRAM channel, reported as its
+            // own pseudo-layer like the synapse loads above.
+            if (memModel) {
+                const std::uint64_t actBytes =
+                    (n.inShape.volume() +
+                     n.conv.outputShape(n.inShape).volume()) * 2;
+                if (actBytes > memGeo.nmBytes) {
+                    const std::uint64_t spillBytes =
+                        actBytes - memGeo.nmBytes;
+                    LayerResult spill;
+                    spill.name = n.name + ":dram-spill";
+                    spill.cycles = memModel->dramTransfer(spillBytes);
+                    spill.energy.offchipBytes += spillBytes;
+                    spill.activity.other =
+                        spill.cycles *
+                        static_cast<std::uint64_t>(cfg.nodeLanes());
+                    spill.micro.laneIdleCycles =
+                        spill.cycles *
+                        static_cast<std::uint64_t>(cfg.lanes);
+                    spill.micro.stalls.dramWait =
+                        spill.micro.laneIdleCycles;
+                    if (spill.cycles > 0) {
+                        result.layers.push_back(spill);
+                        drainInto();
+                    }
+                }
+            }
             break;
           }
           case nn::NodeKind::Fc:
             result.layers.push_back(
                 fcLayerTiming(cfg, arch, net, id, overlap));
+            if (memModel) {
+                // FC synapse traffic (already overlap-timed).
+                const std::uint64_t bytes =
+                    result.layers.back().energy.offchipBytes;
+                if (bytes > 0)
+                    memModel->dramTransfer(bytes);
+                drainInto();
+            }
             break;
           default:
             result.layers.push_back(
                 dadiannao::otherLayerTiming(cfg, n, overlap));
+            drainInto();
             break;
         }
     }

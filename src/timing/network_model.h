@@ -17,6 +17,7 @@
 #include "dadiannao/config.h"
 #include "dadiannao/metrics.h"
 #include "dadiannao/other_layers.h"
+#include "mem/memory_model.h"
 #include "nn/network.h"
 #include "timing/conv_model.h"
 
@@ -118,6 +119,23 @@ struct RunOptions
      * manifest as `weightSparsity`.
      */
     double weightSparsity = kDefaultWeightSparsity;
+    /**
+     * Memory-hierarchy model (`--mem`). Ideal — the default — keeps
+     * every report byte-identical to a pre-mem build; Banked routes
+     * each NM access through a per-run mem::MemoryModel (banked NM +
+     * global buffer + DRAM channel). The model instance is created
+     * inside simulateNetwork, so runs stay deterministic at any
+     * --jobs count.
+     */
+    mem::Kind memKind = mem::Kind::Ideal;
+    /**
+     * Geometry for the banked model. A zero `banks` field (the
+     * default) derives the geometry from the NodeConfig: banks =
+     * nmBanks, nmBytes, dramBytesPerCycle = offchipBytesPerCycle,
+     * and sliced fetch on every arch except the baseline. The arch
+     * layer overrides this via arch::ArchModel::memGeometry().
+     */
+    mem::Geometry memGeometry{};
 };
 
 /**
@@ -130,10 +148,14 @@ struct RunOptions
  * @param counts Per-brick non-zero counts of the layer's input.
  * @param weightSparsity Cnv2 ineffectual-weight-brick fraction
  *        (ignored by the other architectures).
+ * @param mem Optional memory model the chosen mode's NM accesses
+ *        are issued against (the profitable-policy estimates stay
+ *        side-effect-free; only the winner touches the model).
  */
 dadiannao::LayerResult convLayerTiming(
     const dadiannao::NodeConfig &cfg, Arch arch, const nn::Node &node,
-    const CountMap &counts, double weightSparsity = kDefaultWeightSparsity);
+    const CountMap &counts, double weightSparsity = kDefaultWeightSparsity,
+    mem::MemoryModel *mem = nullptr);
 
 /**
  * Fully-connected layer timing on one architecture: the shared

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the memory-hierarchy components: the banked NM's
+ * conflict accounting against a hand-worked 4-bank example, the
+ * baseline's conflict-free unit-wide pointer, the direct-mapped
+ * global buffer, and the assembled banked MemoryModel (GB filtering,
+ * fill hiding, per-layer drain semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/banked_nm.h"
+#include "mem/global_buffer.h"
+#include "mem/memory_model.h"
+
+namespace {
+
+using namespace cnv;
+using mem::Access;
+
+/**
+ * Hand-worked example, 4 banks, sliced fetch (address % 4 = bank):
+ *
+ *   lane 0 stream: addr 0 (bank 0), addr 1 (bank 1)
+ *   lane 1 stream: addr 4 (bank 0), addr 5 (bank 1)
+ *   lane 2 stream: addr 2 (bank 2)
+ *   lane 3 stream: addr 3 (bank 3)
+ *
+ * Round 1 heads: banks {0, 0, 2, 3} — bank 0 serves two fetches, so
+ * the round takes 2 cycles instead of 1 (+1 conflict).
+ * Round 2 heads: banks {1, 1} — bank 1 serves two (+1 conflict).
+ * Total: 2 conflict cycles for 6 accesses.
+ */
+TEST(BankedNm, HandWorkedFourBankExample)
+{
+    mem::BankedNm nm(4, /*slicedFetch=*/true);
+    const std::vector<Access> group = {
+        {0, 0}, {1, 4}, {2, 2}, {3, 3}, {0, 1}, {1, 5}};
+    EXPECT_EQ(nm.serveGroup(group), 2u);
+    EXPECT_EQ(nm.accesses(), 6u);
+    EXPECT_EQ(nm.conflictCycles(), 2u);
+}
+
+TEST(BankedNm, AllLanesOnOneBankSerialiseFully)
+{
+    mem::BankedNm nm(4, /*slicedFetch=*/true);
+    // Three lanes, three addresses, all mapping to bank 0: the bank
+    // serves them over 3 cycles, 2 of which are conflict cost.
+    EXPECT_EQ(nm.serveGroup({{0, 0}, {1, 4}, {2, 8}}), 2u);
+}
+
+TEST(BankedNm, DistinctBanksNeverConflict)
+{
+    mem::BankedNm nm(4, /*slicedFetch=*/true);
+    EXPECT_EQ(nm.serveGroup({{0, 0}, {1, 1}, {2, 2}, {3, 3}}), 0u);
+    EXPECT_EQ(nm.conflictCycles(), 0u);
+}
+
+TEST(BankedNm, UnitWidePointerNeverConflicts)
+{
+    // Same same-bank access pattern as above, but with the
+    // baseline's single fetch pointer: one stream, one access per
+    // cycle, no conflicts by construction.
+    mem::BankedNm nm(4, /*slicedFetch=*/false);
+    EXPECT_EQ(nm.serveGroup({{0, 0}, {1, 4}, {2, 8}}), 0u);
+    EXPECT_EQ(nm.accesses(), 3u);
+
+    nm.addSequential(10);
+    EXPECT_EQ(nm.accesses(), 13u);
+    EXPECT_EQ(nm.conflictCycles(), 0u);
+}
+
+TEST(GlobalBuffer, DirectMappedHitsMissesAndEvictions)
+{
+    mem::GlobalBuffer gb(2);
+    std::vector<Access> misses;
+
+    // Cold: both lines miss and are installed.
+    EXPECT_EQ(gb.filterGroup({{0, 0}, {1, 1}}, misses), 2u);
+    EXPECT_EQ(misses.size(), 2u);
+
+    // Warm: the same addresses hit and never reach the NM.
+    misses.clear();
+    EXPECT_EQ(gb.filterGroup({{0, 0}, {1, 1}}, misses), 0u);
+    EXPECT_TRUE(misses.empty());
+    EXPECT_EQ(gb.hits(), 2u);
+
+    // Address 2 maps to slot 0 (2 % 2) and evicts resident line 0.
+    misses.clear();
+    EXPECT_EQ(gb.filterGroup({{0, 2}}, misses), 1u);
+    EXPECT_EQ(gb.evictions(), 1u);
+    misses.clear();
+    EXPECT_EQ(gb.filterGroup({{0, 0}}, misses), 1u); // 0 was evicted
+
+    gb.invalidate();
+    misses.clear();
+    EXPECT_EQ(gb.filterGroup({{0, 1}}, misses), 1u); // cold again
+}
+
+TEST(MemoryModel, BankedFiltersThroughGbAndHidesFills)
+{
+    mem::Geometry geo;
+    geo.banks = 4;
+    geo.slicedFetch = true;
+    geo.nmBytes = 1 << 20;
+    geo.gbLines = 16;
+    geo.dramBytesPerCycle = 16;
+    const auto model = mem::makeMemoryModel(mem::Kind::Banked, geo);
+    ASSERT_EQ(model->kind(), mem::Kind::Banked);
+
+    // Cold group: 2 misses, both on bank 0 (+1 conflict); with no
+    // compute to hide behind, both fill cycles are exposed.
+    const std::vector<Access> group = {{0, 0}, {1, 4}};
+    mem::GroupCost cost = model->fetchGroup(group, /*computeCycles=*/0);
+    EXPECT_EQ(cost.conflictCycles, 1u);
+    EXPECT_EQ(cost.gbFillCycles, 2u);
+
+    // Warm group: every fetch hits the GB — no NM traffic, no cost.
+    cost = model->fetchGroup(group, 0);
+    EXPECT_EQ(cost.conflictCycles, 0u);
+    EXPECT_EQ(cost.gbFillCycles, 0u);
+
+    mem::Counters c = model->totals();
+    EXPECT_EQ(c.nmAccesses, 2u);
+    EXPECT_EQ(c.nmConflictCycles, 1u);
+    EXPECT_EQ(c.gbHits, 2u);
+    EXPECT_EQ(c.gbMisses, 2u);
+
+    // 33 bytes over a 16 B/cycle channel occupy ceil(33/16) cycles.
+    EXPECT_EQ(model->dramTransfer(33), 3u);
+
+    // drainLayer returns the epoch's delta and invalidates the GB.
+    c = model->drainLayer();
+    EXPECT_EQ(c.nmAccesses, 2u);
+    EXPECT_EQ(c.dramBytes, 33u);
+    EXPECT_EQ(c.dramCycles, 3u);
+    c = model->drainLayer();
+    EXPECT_EQ(c.nmAccesses, 0u); // nothing since the last drain
+    cost = model->fetchGroup(group, 8);
+    EXPECT_EQ(model->totals().gbMisses, 4u); // cold after invalidate
+    EXPECT_EQ(cost.gbFillCycles, 0u);        // hidden behind compute
+}
+
+TEST(MemoryModel, IdealIsFreeAndKindsRoundTrip)
+{
+    const auto model = mem::makeMemoryModel(mem::Kind::Ideal, {});
+    EXPECT_EQ(model->kind(), mem::Kind::Ideal);
+    const mem::GroupCost cost = model->fetchGroup({{0, 0}, {1, 0}}, 0);
+    EXPECT_EQ(cost.conflictCycles, 0u);
+    EXPECT_EQ(cost.gbFillCycles, 0u);
+    EXPECT_EQ(model->dramTransfer(1024), 0u);
+    EXPECT_EQ(model->totals().nmAccesses, 0u);
+
+    EXPECT_STREQ(mem::kindName(mem::Kind::Ideal), "ideal");
+    EXPECT_STREQ(mem::kindName(mem::Kind::Banked), "banked");
+    EXPECT_EQ(mem::parseKind("banked"), mem::Kind::Banked);
+    EXPECT_EQ(mem::parseKind("ideal"), mem::Kind::Ideal);
+    EXPECT_FALSE(mem::parseKind("bogus").has_value());
+}
+
+} // namespace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the bounded FIFO ring buffer: the capacity bound is a
+ * refusal (push returns false, state unchanged), ordering is strict
+ * FIFO, and the ring wraps without disturbing either property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/fifo.h"
+
+namespace {
+
+using cnv::mem::Fifo;
+
+TEST(Fifo, BoundRefusesInsteadOfGrowing)
+{
+    Fifo<int> q(3);
+    EXPECT_EQ(q.capacity(), 3u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_TRUE(q.full());
+
+    // A full queue refuses the push and keeps its contents intact.
+    EXPECT_FALSE(q.push(4));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 1);
+}
+
+TEST(Fifo, StrictOrderingAcrossWraparound)
+{
+    Fifo<int> q(3);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    ASSERT_TRUE(q.push(3));
+
+    EXPECT_EQ(q.front(), 1);
+    q.pop();
+    // head has advanced; the freed slot is reused by the next push.
+    ASSERT_TRUE(q.push(4));
+    EXPECT_TRUE(q.full());
+
+    EXPECT_EQ(q.front(), 2);
+    q.pop();
+    EXPECT_EQ(q.front(), 3);
+    q.pop();
+    EXPECT_EQ(q.front(), 4);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -30,7 +31,10 @@ TEST(StallReasonNames, RoundTripAndRejectUnknown)
 {
     const StallReason all[] = {
         StallReason::BrickBufferEmpty, StallReason::WindowBarrier,
-        StallReason::SynapseWait, StallReason::SliceDrained};
+        StallReason::SynapseWait,      StallReason::SliceDrained,
+        StallReason::NmBankConflict,   StallReason::GbMiss,
+        StallReason::DramWait};
+    static_assert(std::size(all) == sim::kStallReasonCount);
     for (StallReason r : all) {
         const auto back = sim::stallReasonFromName(sim::stallReasonName(r));
         ASSERT_TRUE(back.has_value());
@@ -44,6 +48,11 @@ TEST(StallReasonNames, RoundTripAndRejectUnknown)
                  "synapse_wait");
     EXPECT_STREQ(sim::stallReasonName(StallReason::SliceDrained),
                  "slice_drained");
+    EXPECT_STREQ(sim::stallReasonName(StallReason::NmBankConflict),
+                 "nm_bank_conflict");
+    EXPECT_STREQ(sim::stallReasonName(StallReason::GbMiss), "gb_miss");
+    EXPECT_STREQ(sim::stallReasonName(StallReason::DramWait),
+                 "dram_wait");
     EXPECT_FALSE(sim::stallReasonFromName("coffee_break").has_value());
 }
 

@@ -7,10 +7,12 @@ between the modules under ``src/`` and checks the result against the
 explicit allowed-dependency matrix below (the machine-readable form
 of the layer diagram in docs/architecture.md):
 
-  sim -> tensor -> zfnaf -> nn -> dadiannao -> core
+  sim -> {mem, tensor} -> zfnaf -> nn -> dadiannao -> core
       -> {timing, power} -> {arch, pruning} -> driver
 
-with ``sim`` as the base utility layer every module may use, and a
+with ``sim`` as the base utility layer every module may use, ``mem``
+as a leaf component library (memory-hierarchy models over sim only,
+consumed by dadiannao, timing, arch and driver), and a
 small set of *freestanding headers* (annotation/sync primitives that
 include nothing from src/) that any module may include without
 creating a layering edge — the freestanding property itself is
@@ -63,17 +65,19 @@ from pathlib import Path
 # arch -> core.
 ALLOWED = {
     "sim": set(),
+    "mem": {"sim"},
     "tensor": {"sim"},
     "zfnaf": {"tensor", "sim"},
     "nn": {"tensor", "sim"},
-    "dadiannao": {"nn", "tensor", "sim"},
+    "dadiannao": {"mem", "nn", "tensor", "sim"},
     "core": {"zfnaf", "dadiannao", "nn", "tensor", "sim"},
-    "timing": {"core", "dadiannao", "zfnaf", "nn", "tensor", "sim"},
+    "timing": {"core", "dadiannao", "zfnaf", "mem", "nn", "tensor",
+               "sim"},
     "power": {"dadiannao", "sim"},
     "pruning": {"timing", "dadiannao", "nn", "sim"},
-    "arch": {"timing", "power", "dadiannao", "nn", "sim"},
+    "arch": {"timing", "power", "dadiannao", "mem", "nn", "sim"},
     "driver": {"arch", "pruning", "timing", "power", "core",
-               "dadiannao", "nn", "zfnaf", "tensor", "sim"},
+               "dadiannao", "mem", "nn", "zfnaf", "tensor", "sim"},
 }
 
 # Headers any module may include without creating a layering edge.
@@ -285,6 +289,17 @@ def self_test(edges: dict[tuple[str, str], Edge]) -> list[str]:
     if not any("tensor -> driver" in p for p in check_edges(seeded)):
         failures.append("self-test: seeded forbidden edge "
                         "tensor -> driver was NOT detected")
+
+    # mem must stay a leaf component library: an include of the
+    # timing layer from mem would invert the hierarchy.
+    seeded = dict(edges)
+    bad = Edge("mem", "timing")
+    bad.sites.append("src/mem/memory_model.h:1: includes "
+                     "timing/network_model.h (seeded)")
+    seeded[("mem", "timing")] = bad
+    if not any("mem -> timing" in p for p in check_edges(seeded)):
+        failures.append("self-test: seeded forbidden edge "
+                        "mem -> timing was NOT detected")
 
     cyclic = {m: set(d) for m, d in ALLOWED.items()}
     cyclic["sim"] = {"driver"}

@@ -18,6 +18,7 @@ Cases:
   * zero --jobs            -> exit 2, diagnostic on stderr
   * bad --progress value   -> exit 2, diagnostic on stderr
   * empty --perf-json path -> exit 2, diagnostic on stderr
+  * bad --mem value        -> exit 2, diagnostic on stderr
 
 With ``--bench BENCH`` a bench binary's shared argument parser
 (bench/common.h) is smoked too:
@@ -26,6 +27,7 @@ With ``--bench BENCH`` a bench binary's shared argument parser
   * trailing junk (--images 2x) -> exit 2, diagnostic on stderr
   * trailing junk (--jobs 2x)   -> exit 2, diagnostic on stderr
   * zero --jobs            -> exit 2, diagnostic on stderr
+  * bad --mem value        -> exit 2, diagnostic on stderr
 
 Usage: smoke_cli_errors.py CNVSIM [--bench BENCH]
 """
@@ -103,8 +105,11 @@ def main(argv: list[str]) -> int:
     expect("empty --perf-json path",
            run(cnvsim, "run", "nin", "--images", "1", "--perf-json", ""),
            2, ["invalid value", "--perf-json"])
+    expect("bad --mem value",
+           run(cnvsim, "run", "nin", "--images", "1", "--mem", "bogus"),
+           2, ["invalid value", "--mem"])
 
-    cases = 10
+    cases = 11
     if bench is not None:
         expect("bench non-numeric --images",
                run(bench, "--images", "notanumber"),
@@ -121,7 +126,10 @@ def main(argv: list[str]) -> int:
         expect("bench zero --jobs",
                run(bench, "--jobs", "0"),
                2, ["invalid numeric value", "--jobs"])
-        cases += 5
+        expect("bench bad --mem value",
+               run(bench, "--mem", "bogus"),
+               2, ["invalid value", "--mem"])
+        cases += 6
 
     for p in problems:
         print(f"smoke_cli_errors: {p}", file=sys.stderr)

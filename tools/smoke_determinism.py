@@ -11,6 +11,13 @@ documented in docs/architecture.md ("Threading model and
 determinism"): every result, stat tree, and cache counter must be
 invariant under the worker-pool size.
 
+Two experiments run: the wide five-architecture sweep under the
+default ideal memory model, and a ``--mem banked`` run over
+dadiannao/cnv/cnv2 — the banked hierarchy's conflict, buffer and
+DRAM counters must be just as job-count-invariant as the cycle
+counts (one `mem::MemoryModel` per (arch, image) task, never shared
+across workers).
+
 The JSON writer emits one key per line, so dropping the brace-
 balanced ``hostProfile`` block and then filtering whole lines
 containing the two volatile keys is exact, not heuristic. (String
@@ -64,25 +71,20 @@ def report_lines(path: pathlib.Path) -> list[str]:
     return kept
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    cnvsim, outdir = argv[1], pathlib.Path(argv[2])
-    outdir.mkdir(parents=True, exist_ok=True)
-
+def compare_pair(cnvsim: str, outdir: pathlib.Path, label: str,
+                 extra_args: list[str]) -> int:
+    """Run the experiment at --jobs 1 and 4; 0 when identical."""
     reports = {}
     for jobs in (1, 4):
-        path = outdir / f"report-jobs{jobs}.json"
+        path = outdir / f"report-{label}-jobs{jobs}.json"
         proc = subprocess.run(
             [cnvsim, "run", "nin", "--images", "2",
-             "--arch", "dadiannao,cnv,cnv2,cnv-pruned,cnv-b8",
              "--seed", "2016", "--jobs", str(jobs),
-             "--report-json", str(path)],
+             *extra_args, "--report-json", str(path)],
             capture_output=True, text=True)
         if proc.returncode != 0:
-            print(f"smoke_determinism: --jobs {jobs} run failed "
-                  f"(exit {proc.returncode}): {proc.stderr}",
+            print(f"smoke_determinism: {label} --jobs {jobs} run "
+                  f"failed (exit {proc.returncode}): {proc.stderr}",
                   file=sys.stderr)
             return 1
         reports[jobs] = report_lines(path)
@@ -90,18 +92,34 @@ def main(argv: list[str]) -> int:
     if reports[1] != reports[4]:
         for a, b in zip(reports[1], reports[4]):
             if a != b:
-                print(f"smoke_determinism: first divergence:\n"
+                print(f"smoke_determinism: {label}: first divergence:\n"
                       f"  jobs=1: {a}\n  jobs=4: {b}", file=sys.stderr)
                 break
         else:
-            print(f"smoke_determinism: line counts differ: "
+            print(f"smoke_determinism: {label}: line counts differ: "
                   f"{len(reports[1])} vs {len(reports[4])}",
                   file=sys.stderr)
         return 1
 
-    print(f"smoke_determinism: {len(reports[1])} report lines "
-          "byte-identical between --jobs 1 and --jobs 4")
+    print(f"smoke_determinism: {label}: {len(reports[1])} report "
+          "lines byte-identical between --jobs 1 and --jobs 4")
     return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cnvsim, outdir = argv[1], pathlib.Path(argv[2])
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    failures = compare_pair(
+        cnvsim, outdir, "ideal",
+        ["--arch", "dadiannao,cnv,cnv2,cnv-pruned,cnv-b8"])
+    failures += compare_pair(
+        cnvsim, outdir, "banked",
+        ["--arch", "dadiannao,cnv,cnv2", "--mem", "banked"])
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
