@@ -6,12 +6,20 @@
  * conv-trace cache. These guard the throughput that makes the
  * paper-scale experiments (full 224x224 geometries, batches of
  * images, threshold sweeps) tractable.
+ *
+ * The *Scalar variants benchmark the scalar reference kernels next
+ * to their vectorized counterparts (core/simd.h backends), giving
+ * before/after columns for the SIMD hot paths: conv forward, FC
+ * forward, non-zero counting and ZFNAf encode.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <vector>
 
+#include "core/arena.h"
+#include "nn/kernels.h"
 #include "nn/trace.h"
 #include "nn/zoo/zoo.h"
 #include "sim/parallel.h"
@@ -49,6 +57,19 @@ BM_ZfnafEncode(benchmark::State &state)
 }
 BENCHMARK(BM_ZfnafEncode);
 
+// Scalar reference for the same encode: the "before" column for the
+// vectorized hot path above.
+void
+BM_ZfnafEncodeScalar(benchmark::State &state)
+{
+    const auto t = sparseTensor(56, 56, 256, 0.44);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zfnaf::encodeScalar(t));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_ZfnafEncodeScalar);
+
 void
 BM_ZfnafDecode(benchmark::State &state)
 {
@@ -68,6 +89,129 @@ BM_NonZeroCountMap(benchmark::State &state)
                             static_cast<std::int64_t>(t.size()));
 }
 BENCHMARK(BM_NonZeroCountMap);
+
+void
+BM_NonZeroCountMapScalar(benchmark::State &state)
+{
+    const auto t = sparseTensor(112, 112, 128, 0.44);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zfnaf::nonZeroCountMapScalar(t));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_NonZeroCountMapScalar);
+
+// Conv forward over a paper-scale inner layer, vector kernel vs the
+// scalar reference — the tentpole before/after pair.
+nn::ConvParams
+convBenchParams()
+{
+    nn::ConvParams p;
+    p.filters = 64;
+    p.fx = p.fy = 3;
+    p.stride = 1;
+    p.pad = 1;
+    p.relu = true;
+    return p;
+}
+
+tensor::FilterBank
+convBenchFilters(const nn::ConvParams &p, int depth)
+{
+    tensor::FilterBank w(p.filters, p.fx, p.fy, depth);
+    sim::Rng rng(9);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        w.data()[i] = tensor::Fixed16::fromRaw(
+            static_cast<std::int16_t>(rng.uniformInt(-300, 300)));
+    }
+    return w;
+}
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    const auto in = sparseTensor(28, 28, 128, 0.44);
+    const nn::ConvParams p = convBenchParams();
+    const auto w = convBenchFilters(p, in.shape().z);
+    const std::vector<tensor::Fixed16> bias(
+        static_cast<std::size_t>(p.filters));
+    core::Arena arena;
+    for (auto _ : state) {
+        arena.reset();
+        benchmark::DoNotOptimize(
+            nn::kernels::convForward(in, w, bias, p, arena));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_ConvForward)->Unit(benchmark::kMillisecond);
+
+void
+BM_ConvForwardScalar(benchmark::State &state)
+{
+    const auto in = sparseTensor(28, 28, 128, 0.44);
+    const nn::ConvParams p = convBenchParams();
+    const auto w = convBenchFilters(p, in.shape().z);
+    const std::vector<tensor::Fixed16> bias(
+        static_cast<std::size_t>(p.filters));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nn::kernels::convForwardScalar(in, w, bias, p));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_ConvForwardScalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_FcForward(benchmark::State &state)
+{
+    const auto in = sparseTensor(1, 1, 4096, 0.44);
+    nn::FcParams p;
+    p.outputs = 1024;
+    p.relu = true;
+    tensor::FilterBank w(p.outputs, 1, 1, in.shape().z);
+    sim::Rng rng(11);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        w.data()[i] = tensor::Fixed16::fromRaw(
+            static_cast<std::int16_t>(rng.uniformInt(-300, 300)));
+    }
+    const std::vector<tensor::Fixed16> bias(
+        static_cast<std::size_t>(p.outputs));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nn::kernels::fcForward(in, w, bias, p));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(w.size()));
+}
+BENCHMARK(BM_FcForward);
+
+void
+BM_FcForwardScalar(benchmark::State &state)
+{
+    const auto in = sparseTensor(1, 1, 4096, 0.44);
+    nn::FcParams p;
+    p.outputs = 1024;
+    p.relu = true;
+    tensor::FilterBank w(p.outputs, 1, 1, in.shape().z);
+    sim::Rng rng(11);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        w.data()[i] = tensor::Fixed16::fromRaw(
+            static_cast<std::int16_t>(rng.uniformInt(-300, 300)));
+    }
+    const std::vector<tensor::Fixed16> bias(
+        static_cast<std::size_t>(p.outputs));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nn::kernels::fcForwardScalar(in, w, bias, p));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(w.size()));
+}
+BENCHMARK(BM_FcForwardScalar);
 
 void
 BM_TraceSynthesis(benchmark::State &state)

@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Freestanding portable SIMD layer for the 16-bit fixed-point hot
+ * paths (conv forward, ZFNAf encode, non-zero brick counting).
+ *
+ * Exactly one backend is selected at compile time:
+ *
+ *   - AVX2 (16 lanes)            x86-64 with `-mavx2`
+ *   - SSE4.2 (8 lanes)           x86-64 with `-msse4.2`
+ *   - NEON (8 lanes)             AArch64 (baseline)
+ *   - scalar (8 lanes)           everything else, or `CNV_SIMD=0`
+ *
+ * The `CNV_SIMD` CMake option drives the macro of the same name:
+ * `-DCNV_SIMD=0` forces the scalar backend regardless of the target
+ * ISA, which is how the scalar-fallback CI job keeps both dispatch
+ * paths green. Every backend computes *exact* integer results — the
+ * products are formed in full precision and summed into 64-bit
+ * accumulators, and integer addition is associative — so all four
+ * backends are bit-identical by construction; the equivalence tests
+ * in tests/nn and tests/zfnaf pin this.
+ *
+ * Layering: this header is *freestanding* — it includes nothing from
+ * src/ — so any module may use it without creating a layering edge
+ * (tools/check_layering.py verifies the property). It is also the
+ * only file in the tree allowed to touch raw intrinsics: the cnvlint
+ * `raw-simd` rule bans `<immintrin.h>` / `<arm_neon.h>` and the
+ * `__m128`/`__m256`/NEON vector types everywhere else.
+ *
+ * Element loads go through `std::memcpy`, never pointer casts, so
+ * any trivially-copyable 2-byte type (`tensor::Fixed16`,
+ * `std::int16_t`) can be consumed without `reinterpret_cast` or
+ * alignment assumptions.
+ */
+
+#ifndef CNV_CORE_SIMD_H
+#define CNV_CORE_SIMD_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if !defined(CNV_SIMD) || CNV_SIMD
+#if defined(__AVX2__)
+#define CNV_SIMD_BACKEND_AVX2 1
+#elif defined(__SSE4_2__)
+#define CNV_SIMD_BACKEND_SSE42 1
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define CNV_SIMD_BACKEND_NEON 1
+#endif
+#endif
+
+#if defined(CNV_SIMD_BACKEND_AVX2) || defined(CNV_SIMD_BACKEND_SSE42)
+#include <immintrin.h>
+#elif defined(CNV_SIMD_BACKEND_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace cnv::core::simd {
+
+namespace detail {
+
+/** Static requirements on the element types the loads accept. */
+template <typename T>
+inline constexpr bool kIsRawI16 =
+    sizeof(T) == sizeof(std::int16_t) &&
+    std::is_trivially_copyable_v<T>;
+
+/**
+ * Compress the even-indexed bits of a byte-level movemask (two bits
+ * per 16-bit lane) down to one bit per lane. Used by the x86
+ * backends to normalise `movemask_epi8` output.
+ */
+constexpr std::uint32_t
+evenBits(std::uint32_t m)
+{
+    m &= 0x55555555u;
+    m = (m | (m >> 1)) & 0x33333333u;
+    m = (m | (m >> 2)) & 0x0F0F0F0Fu;
+    m = (m | (m >> 4)) & 0x00FF00FFu;
+    m = (m | (m >> 8)) & 0x0000FFFFu;
+    return m;
+}
+
+} // namespace detail
+
+/**
+ * Clamp a raw prune threshold to the unsigned-16 domain the lane
+ * predicate works in. The predicate "non-zero and |raw| >= t" is
+ * exactly "uabs(raw) >= clampThreshold(t)": any threshold <= 1
+ * degenerates to the non-zero test, and |raw| never exceeds 32768,
+ * so thresholds past 0xFFFF select nothing — matching the scalar
+ * semantics of zfnaf::encode / nonZeroCountMap for every int32
+ * threshold.
+ */
+constexpr std::uint16_t
+clampThreshold(std::int64_t rawThreshold)
+{
+    if (rawThreshold < 1)
+        return 1;
+    if (rawThreshold > 0xFFFF)
+        return 0xFFFF;
+    return static_cast<std::uint16_t>(rawThreshold);
+}
+
+#if defined(CNV_SIMD_BACKEND_AVX2)
+
+/** Identifies the selected backend (for logs and bench labels). */
+inline constexpr bool kEnabled = true;
+/** 16-bit lanes per vector register. */
+inline constexpr int kLanes = 16;
+
+/** Human-readable name of the selected backend. */
+constexpr const char *
+instructionSet()
+{
+    return "avx2";
+}
+
+/** One register of kLanes packed 16-bit values. */
+struct VecI16
+{
+    __m256i v;
+};
+
+/** Load kLanes consecutive 2-byte elements (unaligned). */
+template <typename T>
+inline VecI16
+loadFull(const T *p)
+{
+    static_assert(detail::kIsRawI16<T>);
+    VecI16 r;
+    std::memcpy(&r.v, p, sizeof(r.v));
+    return r;
+}
+
+/** Load n < kLanes elements, zero-filling the remaining lanes. */
+template <typename T>
+inline VecI16
+loadPartial(const T *p, int n)
+{
+    static_assert(detail::kIsRawI16<T>);
+    std::int16_t buf[kLanes] = {};
+    std::memcpy(buf, p, static_cast<std::size_t>(n) * sizeof(buf[0]));
+    return loadFull(buf);
+}
+
+/**
+ * Exact 64-bit accumulator of 16x16-bit products. Every product is
+ * formed in full 32-bit precision (mullo/mulhi interleave) and
+ * widened to 64 bits before accumulation, so no input combination
+ * can wrap — the result equals the scalar sum for all inputs.
+ */
+class DotAccum
+{
+  public:
+    DotAccum() : acc_(_mm256_setzero_si256()) {}
+
+    /** acc += sum over lanes of a[i] * b[i], exactly. */
+    void
+    mulAcc(VecI16 a, VecI16 b)
+    {
+        const __m256i lo = _mm256_mullo_epi16(a.v, b.v);
+        const __m256i hi = _mm256_mulhi_epi16(a.v, b.v);
+        const __m256i p0 = _mm256_unpacklo_epi16(lo, hi);
+        const __m256i p1 = _mm256_unpackhi_epi16(lo, hi);
+        acc_ = _mm256_add_epi64(
+            acc_, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p0)));
+        acc_ = _mm256_add_epi64(
+            acc_, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p0, 1)));
+        acc_ = _mm256_add_epi64(
+            acc_, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p1)));
+        acc_ = _mm256_add_epi64(
+            acc_, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p1, 1)));
+    }
+
+    /** Horizontal sum of the four 64-bit partial accumulators. */
+    std::int64_t
+    total() const
+    {
+        std::int64_t parts[4];
+        std::memcpy(parts, &acc_, sizeof(parts));
+        return parts[0] + parts[1] + parts[2] + parts[3];
+    }
+
+  private:
+    __m256i acc_;
+};
+
+namespace detail {
+
+/** Per-lane predicate mask: uabs(lane) >= t, as a cmp vector. */
+inline __m256i
+geVector(VecI16 v, std::uint16_t t)
+{
+    const __m256i uabs = _mm256_abs_epi16(v.v);
+    const __m256i vt =
+        _mm256_set1_epi16(static_cast<std::int16_t>(t));
+    return _mm256_cmpeq_epi16(_mm256_max_epu16(uabs, vt), uabs);
+}
+
+} // namespace detail
+
+/** Number of lanes with unsigned |value| >= t (t must be >= 1). */
+inline int
+geCount(VecI16 v, std::uint16_t t)
+{
+    const auto m = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(detail::geVector(v, t)));
+    return std::popcount(m) / 2;
+}
+
+/** Bit i set iff lane i has unsigned |value| >= t (t must be >= 1). */
+inline std::uint32_t
+geMask(VecI16 v, std::uint16_t t)
+{
+    const auto m = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(detail::geVector(v, t)));
+    return detail::evenBits(m);
+}
+
+#elif defined(CNV_SIMD_BACKEND_SSE42)
+
+/** Identifies the selected backend (for logs and bench labels). */
+inline constexpr bool kEnabled = true;
+/** 16-bit lanes per vector register. */
+inline constexpr int kLanes = 8;
+
+/** Human-readable name of the selected backend. */
+constexpr const char *
+instructionSet()
+{
+    return "sse4.2";
+}
+
+/** One register of kLanes packed 16-bit values. */
+struct VecI16
+{
+    __m128i v;
+};
+
+/** Load kLanes consecutive 2-byte elements (unaligned). */
+template <typename T>
+inline VecI16
+loadFull(const T *p)
+{
+    static_assert(detail::kIsRawI16<T>);
+    VecI16 r;
+    std::memcpy(&r.v, p, sizeof(r.v));
+    return r;
+}
+
+/** Load n < kLanes elements, zero-filling the remaining lanes. */
+template <typename T>
+inline VecI16
+loadPartial(const T *p, int n)
+{
+    static_assert(detail::kIsRawI16<T>);
+    std::int16_t buf[kLanes] = {};
+    std::memcpy(buf, p, static_cast<std::size_t>(n) * sizeof(buf[0]));
+    return loadFull(buf);
+}
+
+/**
+ * Exact 64-bit accumulator of 8x16-bit products (SSE4.2 variant of
+ * the AVX2 DotAccum; same exactness argument).
+ */
+class DotAccum
+{
+  public:
+    DotAccum() : acc_(_mm_setzero_si128()) {}
+
+    /** acc += sum over lanes of a[i] * b[i], exactly. */
+    void
+    mulAcc(VecI16 a, VecI16 b)
+    {
+        const __m128i lo = _mm_mullo_epi16(a.v, b.v);
+        const __m128i hi = _mm_mulhi_epi16(a.v, b.v);
+        const __m128i p0 = _mm_unpacklo_epi16(lo, hi);
+        const __m128i p1 = _mm_unpackhi_epi16(lo, hi);
+        acc_ = _mm_add_epi64(acc_, _mm_cvtepi32_epi64(p0));
+        acc_ = _mm_add_epi64(acc_,
+                             _mm_cvtepi32_epi64(_mm_srli_si128(p0, 8)));
+        acc_ = _mm_add_epi64(acc_, _mm_cvtepi32_epi64(p1));
+        acc_ = _mm_add_epi64(acc_,
+                             _mm_cvtepi32_epi64(_mm_srli_si128(p1, 8)));
+    }
+
+    /** Horizontal sum of the two 64-bit partial accumulators. */
+    std::int64_t
+    total() const
+    {
+        std::int64_t parts[2];
+        std::memcpy(parts, &acc_, sizeof(parts));
+        return parts[0] + parts[1];
+    }
+
+  private:
+    __m128i acc_;
+};
+
+namespace detail {
+
+/** Per-lane predicate mask: uabs(lane) >= t, as a cmp vector. */
+inline __m128i
+geVector(VecI16 v, std::uint16_t t)
+{
+    const __m128i uabs = _mm_abs_epi16(v.v);
+    const __m128i vt = _mm_set1_epi16(static_cast<std::int16_t>(t));
+    return _mm_cmpeq_epi16(_mm_max_epu16(uabs, vt), uabs);
+}
+
+} // namespace detail
+
+/** Number of lanes with unsigned |value| >= t (t must be >= 1). */
+inline int
+geCount(VecI16 v, std::uint16_t t)
+{
+    const auto m = static_cast<std::uint32_t>(
+        _mm_movemask_epi8(detail::geVector(v, t)));
+    return std::popcount(m) / 2;
+}
+
+/** Bit i set iff lane i has unsigned |value| >= t (t must be >= 1). */
+inline std::uint32_t
+geMask(VecI16 v, std::uint16_t t)
+{
+    const auto m = static_cast<std::uint32_t>(
+        _mm_movemask_epi8(detail::geVector(v, t)));
+    return detail::evenBits(m);
+}
+
+#elif defined(CNV_SIMD_BACKEND_NEON)
+
+/** Identifies the selected backend (for logs and bench labels). */
+inline constexpr bool kEnabled = true;
+/** 16-bit lanes per vector register. */
+inline constexpr int kLanes = 8;
+
+/** Human-readable name of the selected backend. */
+constexpr const char *
+instructionSet()
+{
+    return "neon";
+}
+
+/** One register of kLanes packed 16-bit values. */
+struct VecI16
+{
+    int16x8_t v;
+};
+
+/** Load kLanes consecutive 2-byte elements (unaligned). */
+template <typename T>
+inline VecI16
+loadFull(const T *p)
+{
+    static_assert(detail::kIsRawI16<T>);
+    VecI16 r;
+    std::memcpy(&r.v, p, sizeof(r.v));
+    return r;
+}
+
+/** Load n < kLanes elements, zero-filling the remaining lanes. */
+template <typename T>
+inline VecI16
+loadPartial(const T *p, int n)
+{
+    static_assert(detail::kIsRawI16<T>);
+    std::int16_t buf[kLanes] = {};
+    std::memcpy(buf, p, static_cast<std::size_t>(n) * sizeof(buf[0]));
+    return loadFull(buf);
+}
+
+/**
+ * Exact 64-bit accumulator of 8x16-bit products: widening multiplies
+ * (vmull) followed by pairwise 64-bit accumulation (vpadal).
+ */
+class DotAccum
+{
+  public:
+    DotAccum() : acc_(vdupq_n_s64(0)) {}
+
+    /** acc += sum over lanes of a[i] * b[i], exactly. */
+    void
+    mulAcc(VecI16 a, VecI16 b)
+    {
+        const int32x4_t pl =
+            vmull_s16(vget_low_s16(a.v), vget_low_s16(b.v));
+        const int32x4_t ph =
+            vmull_s16(vget_high_s16(a.v), vget_high_s16(b.v));
+        acc_ = vpadalq_s32(acc_, pl);
+        acc_ = vpadalq_s32(acc_, ph);
+    }
+
+    /** Horizontal sum of the two 64-bit partial accumulators. */
+    std::int64_t
+    total() const
+    {
+        return vgetq_lane_s64(acc_, 0) + vgetq_lane_s64(acc_, 1);
+    }
+
+  private:
+    int64x2_t acc_;
+};
+
+namespace detail {
+
+/** Per-lane predicate mask: uabs(lane) >= t, all-ones per lane. */
+inline uint16x8_t
+geVector(VecI16 v, std::uint16_t t)
+{
+    const uint16x8_t uabs = vreinterpretq_u16_s16(vabsq_s16(v.v));
+    return vcgeq_u16(uabs, vdupq_n_u16(t));
+}
+
+} // namespace detail
+
+/** Number of lanes with unsigned |value| >= t (t must be >= 1). */
+inline int
+geCount(VecI16 v, std::uint16_t t)
+{
+    const uint16x8_t ones =
+        vandq_u16(detail::geVector(v, t), vdupq_n_u16(1));
+    return static_cast<int>(vaddvq_u16(ones));
+}
+
+/** Bit i set iff lane i has unsigned |value| >= t (t must be >= 1). */
+inline std::uint32_t
+geMask(VecI16 v, std::uint16_t t)
+{
+    std::uint16_t lanes[kLanes];
+    vst1q_u16(lanes, detail::geVector(v, t));
+    std::uint32_t mask = 0;
+    for (int i = 0; i < kLanes; ++i) {
+        if (lanes[i] != 0)
+            mask |= 1u << i;
+    }
+    return mask;
+}
+
+#else // scalar fallback
+
+/** Identifies the selected backend (for logs and bench labels). */
+inline constexpr bool kEnabled = false;
+/** 16-bit lanes per (emulated) vector. */
+inline constexpr int kLanes = 8;
+
+/** Human-readable name of the selected backend. */
+constexpr const char *
+instructionSet()
+{
+    return "scalar";
+}
+
+/** One emulated register of kLanes packed 16-bit values. */
+struct VecI16
+{
+    std::int16_t lane[kLanes];
+};
+
+/** Load kLanes consecutive 2-byte elements. */
+template <typename T>
+inline VecI16
+loadFull(const T *p)
+{
+    static_assert(detail::kIsRawI16<T>);
+    VecI16 r;
+    std::memcpy(r.lane, p, sizeof(r.lane));
+    return r;
+}
+
+/** Load n < kLanes elements, zero-filling the remaining lanes. */
+template <typename T>
+inline VecI16
+loadPartial(const T *p, int n)
+{
+    static_assert(detail::kIsRawI16<T>);
+    VecI16 r = {};
+    std::memcpy(r.lane, p, static_cast<std::size_t>(n) *
+                               sizeof(r.lane[0]));
+    return r;
+}
+
+/** Exact 64-bit accumulator of kLanes 16-bit products. */
+class DotAccum
+{
+  public:
+    /** acc += sum over lanes of a[i] * b[i], exactly. */
+    void
+    mulAcc(VecI16 a, VecI16 b)
+    {
+        for (int i = 0; i < kLanes; ++i) {
+            acc_ += static_cast<std::int64_t>(a.lane[i]) *
+                    static_cast<std::int64_t>(b.lane[i]);
+        }
+    }
+
+    /** The accumulated sum. */
+    std::int64_t total() const { return acc_; }
+
+  private:
+    std::int64_t acc_ = 0;
+};
+
+namespace detail {
+
+/** Unsigned |raw| of one lane (|INT16_MIN| = 32768 fits in u32). */
+constexpr std::uint32_t
+uabs(std::int16_t raw)
+{
+    const std::int32_t wide = raw;
+    return static_cast<std::uint32_t>(wide < 0 ? -wide : wide);
+}
+
+} // namespace detail
+
+/** Number of lanes with unsigned |value| >= t (t must be >= 1). */
+inline int
+geCount(VecI16 v, std::uint16_t t)
+{
+    int n = 0;
+    for (int i = 0; i < kLanes; ++i) {
+        if (detail::uabs(v.lane[i]) >= t)
+            ++n;
+    }
+    return n;
+}
+
+/** Bit i set iff lane i has unsigned |value| >= t (t must be >= 1). */
+inline std::uint32_t
+geMask(VecI16 v, std::uint16_t t)
+{
+    std::uint32_t mask = 0;
+    for (int i = 0; i < kLanes; ++i) {
+        if (detail::uabs(v.lane[i]) >= t)
+            mask |= 1u << i;
+    }
+    return mask;
+}
+
+#endif // backend selection
+
+} // namespace cnv::core::simd
+
+#endif // CNV_CORE_SIMD_H

@@ -1,0 +1,249 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/simd.h"
+
+namespace cnv::nn::kernels {
+
+using tensor::Accum;
+using tensor::FilterBank;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+using tensor::Shape3;
+
+namespace {
+
+namespace simd = core::simd;
+
+/** Filters sharing one neuron-vector load per inner iteration. */
+constexpr int kFilterBlock = 4;
+
+/**
+ * Stage `in` into an arena-backed copy with a zero border wide
+ * enough that every window position of the convolution lands on
+ * valid storage: `padLeft`/`padTop` zeros before the data and
+ * `padRight`/`padBottom` after it. Rows of the depth-fastest layout
+ * are contiguous, so the copy is one memcpy per row.
+ */
+const Fixed16 *
+padInput(const NeuronTensor &in, int padLeft, int padTop, int padRight,
+         int padBottom, core::Arena &arena)
+{
+    const Shape3 s = in.shape();
+    const int pw = s.x + padLeft + padRight;
+    const int ph = s.y + padTop + padBottom;
+    const std::size_t total = static_cast<std::size_t>(pw) * ph * s.z;
+    Fixed16 *padded = arena.allocate<Fixed16>(total);
+    std::fill(padded, padded + total, Fixed16{});
+    const std::size_t rowElems = static_cast<std::size_t>(s.x) * s.z;
+    for (int y = 0; y < s.y; ++y) {
+        Fixed16 *dst = padded +
+            (static_cast<std::size_t>(y + padTop) * pw + padLeft) * s.z;
+        std::memcpy(dst, in.data() + static_cast<std::size_t>(y) * rowElems,
+                    rowElems * sizeof(Fixed16));
+    }
+    return padded;
+}
+
+/**
+ * acc[j] += dot of the neuron column with filter column j over
+ * `depth` raw values, exactly; tails shorter than a vector load
+ * zero-fill, contributing zero products.
+ */
+inline void
+accumulateColumns(const Fixed16 *nCol,
+                  const Fixed16 *const *wCols, int nFilters, int depth,
+                  simd::DotAccum *acc)
+{
+    int z = 0;
+    for (; z + simd::kLanes <= depth; z += simd::kLanes) {
+        const simd::VecI16 nv = simd::loadFull(nCol + z);
+        for (int j = 0; j < nFilters; ++j)
+            acc[j].mulAcc(nv, simd::loadFull(wCols[j] + z));
+    }
+    if (z < depth) {
+        const int tail = depth - z;
+        const simd::VecI16 nv = simd::loadPartial(nCol + z, tail);
+        for (int j = 0; j < nFilters; ++j)
+            acc[j].mulAcc(nv, simd::loadPartial(wCols[j] + z, tail));
+    }
+}
+
+} // namespace
+
+Accum
+dotRaw(const Fixed16 *a, const Fixed16 *b, std::size_t n)
+{
+    simd::DotAccum acc;
+    std::size_t i = 0;
+    const std::size_t lanes = static_cast<std::size_t>(simd::kLanes);
+    for (; i + lanes <= n; i += lanes)
+        acc.mulAcc(simd::loadFull(a + i), simd::loadFull(b + i));
+    if (i < n) {
+        const int tail = static_cast<int>(n - i);
+        acc.mulAcc(simd::loadPartial(a + i, tail),
+                   simd::loadPartial(b + i, tail));
+    }
+    return acc.total();
+}
+
+NeuronTensor
+convForward(const NeuronTensor &in, const FilterBank &weights,
+            const std::vector<Fixed16> &bias, const ConvParams &p,
+            core::Arena &arena)
+{
+    const Shape3 inShape = in.shape();
+    const Shape3 outShape = p.outputShape(inShape);
+    const int depthPerGroup = inShape.z / p.groups;
+    const int filtersPerGroup = p.filters / p.groups;
+
+    // The rightmost/bottom window position can overhang the input by
+    // more than `pad` under Caffe's ceil output sizing; size the
+    // border to cover the actual extremes.
+    const int maxIx = (outShape.x - 1) * p.stride - p.pad + p.fx - 1;
+    const int maxIy = (outShape.y - 1) * p.stride - p.pad + p.fy - 1;
+    const int padRight = std::max(0, maxIx - (inShape.x - 1));
+    const int padBottom = std::max(0, maxIy - (inShape.y - 1));
+    const bool needsPad = p.pad > 0 || padRight > 0 || padBottom > 0;
+
+    const Fixed16 *base = in.data();
+    int pw = inShape.x;
+    if (needsPad) {
+        base = padInput(in, p.pad, p.pad, padRight, padBottom, arena);
+        pw = inShape.x + p.pad + padRight;
+    }
+
+    NeuronTensor out(outShape);
+    const Fixed16 *wData = weights.data();
+    const Fixed16 *wCols[kFilterBlock];
+    simd::DotAccum acc[kFilterBlock];
+
+    for (int oy = 0; oy < outShape.y; ++oy) {
+        // In padded coordinates the window origin is never negative.
+        const int iy0 = oy * p.stride - p.pad + (needsPad ? p.pad : 0);
+        for (int ox = 0; ox < outShape.x; ++ox) {
+            const int ix0 = ox * p.stride - p.pad + (needsPad ? p.pad : 0);
+            for (int g = 0; g < p.groups; ++g) {
+                const int zBase = g * depthPerGroup;
+                const int fEnd = (g + 1) * filtersPerGroup;
+                for (int f0 = g * filtersPerGroup; f0 < fEnd;
+                     f0 += kFilterBlock) {
+                    const int nb = std::min(kFilterBlock, fEnd - f0);
+                    for (int j = 0; j < nb; ++j)
+                        acc[j] = simd::DotAccum{};
+                    for (int ky = 0; ky < p.fy; ++ky) {
+                        const std::size_t rowBase =
+                            (static_cast<std::size_t>(iy0 + ky) * pw + ix0) *
+                            inShape.z;
+                        for (int kx = 0; kx < p.fx; ++kx) {
+                            const Fixed16 *nCol = base + rowBase +
+                                static_cast<std::size_t>(kx) * inShape.z +
+                                zBase;
+                            for (int j = 0; j < nb; ++j) {
+                                wCols[j] = wData +
+                                    weights.index(f0 + j, kx, ky, 0);
+                            }
+                            accumulateColumns(nCol, wCols, nb,
+                                              depthPerGroup, acc);
+                        }
+                    }
+                    for (int j = 0; j < nb; ++j) {
+                        Fixed16 v = Fixed16::productToFixed(
+                            acc[j].total()) + bias[f0 + j];
+                        if (p.relu)
+                            v = v.relu();
+                        out.at(ox, oy, f0 + j) = v;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+NeuronTensor
+convForwardScalar(const NeuronTensor &in, const FilterBank &weights,
+                  const std::vector<Fixed16> &bias, const ConvParams &p)
+{
+    const Shape3 inShape = in.shape();
+    const Shape3 outShape = p.outputShape(inShape);
+    const int depthPerGroup = inShape.z / p.groups;
+    const int filtersPerGroup = p.filters / p.groups;
+
+    NeuronTensor out(outShape);
+    for (int oy = 0; oy < outShape.y; ++oy) {
+        for (int ox = 0; ox < outShape.x; ++ox) {
+            const int x0 = ox * p.stride - p.pad;
+            const int y0 = oy * p.stride - p.pad;
+            for (int f = 0; f < p.filters; ++f) {
+                const int group = f / filtersPerGroup;
+                const int zBase = group * depthPerGroup;
+                Accum acc = 0;
+                for (int ky = 0; ky < p.fy; ++ky) {
+                    const int iy = y0 + ky;
+                    if (iy < 0 || iy >= inShape.y)
+                        continue; // zero padding contributes nothing
+                    for (int kx = 0; kx < p.fx; ++kx) {
+                        const int ix = x0 + kx;
+                        if (ix < 0 || ix >= inShape.x)
+                            continue;
+                        const Fixed16 *nCol = in.column(ix, iy) + zBase;
+                        const Fixed16 *sCol =
+                            weights.data() + weights.index(f, kx, ky, 0);
+                        for (int z = 0; z < depthPerGroup; ++z)
+                            acc += mulRaw(nCol[z], sCol[z]);
+                    }
+                }
+                Fixed16 v = Fixed16::productToFixed(acc) + bias[f];
+                if (p.relu)
+                    v = v.relu();
+                out.at(ox, oy, f) = v;
+            }
+        }
+    }
+    return out;
+}
+
+NeuronTensor
+fcForward(const NeuronTensor &in, const FilterBank &weights,
+          const std::vector<Fixed16> &bias, const FcParams &p)
+{
+    const std::size_t volume = in.shape().volume();
+    NeuronTensor out(1, 1, p.outputs);
+    const Fixed16 *inData = in.data();
+    for (int o = 0; o < p.outputs; ++o) {
+        const Fixed16 *w =
+            weights.data() + static_cast<std::size_t>(o) * volume;
+        Fixed16 v =
+            Fixed16::productToFixed(dotRaw(inData, w, volume)) + bias[o];
+        if (p.relu)
+            v = v.relu();
+        out.at(0, 0, o) = v;
+    }
+    return out;
+}
+
+NeuronTensor
+fcForwardScalar(const NeuronTensor &in, const FilterBank &weights,
+                const std::vector<Fixed16> &bias, const FcParams &p)
+{
+    const std::size_t volume = in.shape().volume();
+    NeuronTensor out(1, 1, p.outputs);
+    const Fixed16 *inData = in.data();
+    for (int o = 0; o < p.outputs; ++o) {
+        const Fixed16 *w =
+            weights.data() + static_cast<std::size_t>(o) * volume;
+        Accum acc = 0;
+        for (std::size_t i = 0; i < volume; ++i)
+            acc += mulRaw(inData[i], w[i]);
+        Fixed16 v = Fixed16::productToFixed(acc) + bias[o];
+        if (p.relu)
+            v = v.relu();
+        out.at(0, 0, o) = v;
+    }
+    return out;
+}
+
+} // namespace cnv::nn::kernels

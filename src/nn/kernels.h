@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Vectorized hot-path kernels behind the functional layer ops.
+ *
+ * `nn::conv2d` and `nn::fullyConnected` (ops.cc) validate shapes and
+ * then delegate here. Each kernel has a scalar reference twin used
+ * by the scalar-vs-SIMD equivalence tests (tests/nn/test_kernels.cc)
+ * and the before/after columns of bench_micro_kernels.
+ *
+ * The load-bearing invariant: every kernel accumulates exact int64
+ * sums of exact int32 products of the raw Q7.8 values, identical to
+ * the scalar reference — integer addition is associative, so lane
+ * order cannot change the total, and requantisation happens exactly
+ * once per output neuron, after the full reduction. Reports are
+ * therefore byte-identical whichever backend `core/simd.h` selects.
+ *
+ * Conv stages a zero-padded copy of the input (per layer, from the
+ * caller's `core::Arena`) so the inner reduction needs no bounds
+ * checks and every column load is contiguous; the padding zeros
+ * contribute exactly zero to the sums.
+ */
+
+#ifndef CNV_NN_KERNELS_H
+#define CNV_NN_KERNELS_H
+
+#include <vector>
+
+#include "core/arena.h"
+#include "nn/layer.h"
+#include "tensor/neuron_tensor.h"
+
+namespace cnv::nn::kernels {
+
+/**
+ * Exact raw dot product of two contiguous runs of n fixed-point
+ * values: sum of a[i].raw() * b[i].raw() in a 64-bit accumulator.
+ */
+tensor::Accum dotRaw(const tensor::Fixed16 *a, const tensor::Fixed16 *b,
+                     std::size_t n);
+
+/**
+ * Vectorized direct convolution (inputs already validated by
+ * nn::conv2d). `arena` backs the per-layer padded input copy and is
+ * reset by the caller between images.
+ */
+tensor::NeuronTensor convForward(const tensor::NeuronTensor &in,
+                                 const tensor::FilterBank &weights,
+                                 const std::vector<tensor::Fixed16> &bias,
+                                 const ConvParams &p, core::Arena &arena);
+
+/** Scalar reference convolution (equivalence tests and benches). */
+tensor::NeuronTensor convForwardScalar(
+    const tensor::NeuronTensor &in, const tensor::FilterBank &weights,
+    const std::vector<tensor::Fixed16> &bias, const ConvParams &p);
+
+/** Vectorized fully-connected forward (inputs already validated). */
+tensor::NeuronTensor fcForward(const tensor::NeuronTensor &in,
+                               const tensor::FilterBank &weights,
+                               const std::vector<tensor::Fixed16> &bias,
+                               const FcParams &p);
+
+/** Scalar reference FC forward (equivalence tests and benches). */
+tensor::NeuronTensor fcForwardScalar(
+    const tensor::NeuronTensor &in, const tensor::FilterBank &weights,
+    const std::vector<tensor::Fixed16> &bias, const FcParams &p);
+
+} // namespace cnv::nn::kernels
+
+#endif // CNV_NN_KERNELS_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/arena.h"
 #include "nn/ops.h"
 #include "nn/trace.h"
 #include "sim/logging.h"
@@ -292,6 +293,10 @@ Network::forward(const NeuronTensor &input, const ForwardOptions &opts) const
     ForwardResult result;
     result.outputs.resize(nodes_.size());
 
+    // One arena serves every conv layer's staging buffers; reset
+    // per layer keeps the footprint at the largest single layer.
+    core::Arena arena;
+
     // Remaining-use counts let us drop intermediate tensors early.
     std::vector<int> uses(nodes_.size(), 0);
     for (const Node &n : nodes_)
@@ -309,8 +314,9 @@ Network::forward(const NeuronTensor &input, const ForwardOptions &opts) const
             out = input;
             break;
           case NodeKind::Conv:
+            arena.reset();
             out = conv2d(*result.outputs[n.inputs[0]], weightsOf(id),
-                         biasOf(id), n.conv);
+                         biasOf(id), n.conv, arena);
             if (opts.prune) {
                 applyThreshold(
                     out, opts.prune->forConvIndex(
@@ -394,6 +400,7 @@ Network::calibrate()
     // setup-phase call; nothing else runs concurrently, but the
     // lock discipline is machine-checked either way).
     const core::MutexLock lock(materializeMutex_.m);
+    core::Arena arena;
     for (int id = 0; id < nodeCount(); ++id) {
         Node &n = nodes_[id];
         Batch out(kSamples);
@@ -408,9 +415,11 @@ Network::calibrate()
             raw.relu = false;
             std::vector<Fixed16> zeroBias(n.conv.filters, Fixed16{});
             Batch pre(kSamples);
-            for (int s = 0; s < kSamples; ++s)
+            for (int s = 0; s < kSamples; ++s) {
+                arena.reset();
                 pre[s] = conv2d((*outputs[n.inputs[0]])[s], weights_[id],
-                                zeroBias, raw);
+                                zeroBias, raw, arena);
+            }
             sim::Rng chanRng = sim::Rng(seed_).fork(0xc0de + id);
             const int fDepth = weights_[id].shape().z;
             const int fArea = n.conv.fx * n.conv.fy * fDepth;
@@ -435,9 +444,11 @@ Network::calibrate()
             }
             // Recompute with the stored (scaled, quantised) weights
             // so calibration sees exactly what forward() will.
-            for (int s = 0; s < kSamples; ++s)
+            for (int s = 0; s < kSamples; ++s) {
+                arena.reset();
                 out[s] = conv2d((*outputs[n.inputs[0]])[s], weights_[id],
-                                biases_[id], n.conv);
+                                biases_[id], n.conv, arena);
+            }
             break;
           }
           case NodeKind::Fc: {

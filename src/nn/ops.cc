@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "sim/logging.h"
 
 namespace cnv::nn {
@@ -15,12 +16,11 @@ using tensor::Shape3;
 
 NeuronTensor
 conv2d(const NeuronTensor &in, const FilterBank &weights,
-       const std::vector<Fixed16> &bias, const ConvParams &p)
+       const std::vector<Fixed16> &bias, const ConvParams &p,
+       core::Arena &arena)
 {
     const Shape3 inShape = in.shape();
-    const Shape3 outShape = p.outputShape(inShape);
     const int depthPerGroup = inShape.z / p.groups;
-    const int filtersPerGroup = p.filters / p.groups;
 
     if (weights.shape().n != p.filters || weights.shape().x != p.fx ||
         weights.shape().y != p.fy || weights.shape().z != depthPerGroup) {
@@ -32,39 +32,15 @@ conv2d(const NeuronTensor &in, const FilterBank &weights,
     if (bias.size() != static_cast<std::size_t>(p.filters))
         CNV_FATAL("conv bias count {} != filters {}", bias.size(), p.filters);
 
-    NeuronTensor out(outShape);
+    return kernels::convForward(in, weights, bias, p, arena);
+}
 
-    for (int oy = 0; oy < outShape.y; ++oy) {
-        for (int ox = 0; ox < outShape.x; ++ox) {
-            const int x0 = ox * p.stride - p.pad;
-            const int y0 = oy * p.stride - p.pad;
-            for (int f = 0; f < p.filters; ++f) {
-                const int group = f / filtersPerGroup;
-                const int zBase = group * depthPerGroup;
-                Accum acc = 0;
-                for (int ky = 0; ky < p.fy; ++ky) {
-                    const int iy = y0 + ky;
-                    if (iy < 0 || iy >= inShape.y)
-                        continue; // zero padding contributes nothing
-                    for (int kx = 0; kx < p.fx; ++kx) {
-                        const int ix = x0 + kx;
-                        if (ix < 0 || ix >= inShape.x)
-                            continue;
-                        const Fixed16 *nCol = in.column(ix, iy) + zBase;
-                        const Fixed16 *sCol =
-                            weights.data() + weights.index(f, kx, ky, 0);
-                        for (int z = 0; z < depthPerGroup; ++z)
-                            acc += mulRaw(nCol[z], sCol[z]);
-                    }
-                }
-                Fixed16 v = Fixed16::productToFixed(acc) + bias[f];
-                if (p.relu)
-                    v = v.relu();
-                out.at(ox, oy, f) = v;
-            }
-        }
-    }
-    return out;
+NeuronTensor
+conv2d(const NeuronTensor &in, const FilterBank &weights,
+       const std::vector<Fixed16> &bias, const ConvParams &p)
+{
+    core::Arena arena;
+    return conv2d(in, weights, bias, p, arena);
 }
 
 NeuronTensor
@@ -152,22 +128,10 @@ fullyConnected(const NeuronTensor &in, const FilterBank &weights,
     if (bias.size() != static_cast<std::size_t>(p.outputs))
         CNV_FATAL("fc bias count {} != outputs {}", bias.size(), p.outputs);
 
-    NeuronTensor out(1, 1, p.outputs);
-    const Fixed16 *inData = in.data();
-    for (int o = 0; o < p.outputs; ++o) {
-        // FC weights are stored as one "filter" per output whose
-        // volume equals the input volume, laid out to match the
-        // flattened depth-fastest input.
-        const Fixed16 *w = weights.data() + static_cast<std::size_t>(o) * volume;
-        Accum acc = 0;
-        for (std::size_t i = 0; i < volume; ++i)
-            acc += mulRaw(inData[i], w[i]);
-        Fixed16 v = Fixed16::productToFixed(acc) + bias[o];
-        if (p.relu)
-            v = v.relu();
-        out.at(0, 0, o) = v;
-    }
-    return out;
+    // FC weights are stored as one "filter" per output whose volume
+    // equals the input volume, laid out to match the flattened
+    // depth-fastest input.
+    return kernels::fcForward(in, weights, bias, p);
 }
 
 NeuronTensor

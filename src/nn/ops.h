@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "core/arena.h"
 #include "nn/layer.h"
 #include "tensor/neuron_tensor.h"
 
@@ -26,6 +27,17 @@ tensor::NeuronTensor conv2d(const tensor::NeuronTensor &in,
                             const tensor::FilterBank &weights,
                             const std::vector<tensor::Fixed16> &bias,
                             const ConvParams &p);
+
+/**
+ * Arena-backed variant: the kernel's padded-input staging buffer
+ * comes from `arena`, letting callers that run many layers (one
+ * forward pass, a calibration sweep) reuse one allocation via
+ * `Arena::reset()` instead of hitting the heap per layer.
+ */
+tensor::NeuronTensor conv2d(const tensor::NeuronTensor &in,
+                            const tensor::FilterBank &weights,
+                            const std::vector<tensor::Fixed16> &bias,
+                            const ConvParams &p, core::Arena &arena);
 
 /** Max or average pooling with Caffe-style ceil output sizing. */
 tensor::NeuronTensor pool2d(const tensor::NeuronTensor &in,

@@ -1,32 +1,48 @@
 #include "tensor/tensor.h"
 
+#include "core/simd.h"
 #include "tensor/fixed16.h"
 #include "tensor/neuron_tensor.h"
 
 namespace cnv::tensor {
+
+namespace {
+
+namespace simd = cnv::core::simd;
+
+/** Non-zero values in p[0..n), via full-width predicate counts. */
+std::size_t
+countNonZeroRun(const Fixed16 *p, std::size_t n)
+{
+    std::size_t nz = 0;
+    std::size_t i = 0;
+    const std::size_t lanes = static_cast<std::size_t>(simd::kLanes);
+    for (; i + lanes <= n; i += lanes) {
+        nz += static_cast<std::size_t>(
+            simd::geCount(simd::loadFull(p + i), 1));
+    }
+    if (i < n) {
+        nz += static_cast<std::size_t>(simd::geCount(
+            simd::loadPartial(p + i, static_cast<int>(n - i)), 1));
+    }
+    return nz;
+}
+
+} // namespace
 
 double
 zeroFraction(const NeuronTensor &t)
 {
     if (t.size() == 0)
         return 0.0;
-    std::size_t zeros = 0;
-    for (const Fixed16 v : t) {
-        if (v.isZero())
-            ++zeros;
-    }
+    const std::size_t zeros = t.size() - countNonZeroRun(t.data(), t.size());
     return static_cast<double>(zeros) / static_cast<double>(t.size());
 }
 
 std::size_t
 countNonZero(const NeuronTensor &t)
 {
-    std::size_t nz = 0;
-    for (const Fixed16 v : t) {
-        if (!v.isZero())
-            ++nz;
-    }
-    return nz;
+    return countNonZeroRun(t.data(), t.size());
 }
 
 double

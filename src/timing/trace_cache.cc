@@ -102,10 +102,20 @@ TraceCache::countMap(const nn::Network &net, int convNodeId,
     // non-zero-count work, not a first-touch synthesis underneath.
     const std::uint64_t t0 = sim::metrics().nowIfEnabled();
     if (prune) {
-        tensor::NeuronTensor pruned = *unpruned;
-        nn::applyPruneToConvInput(net, convNodeId, pruned, *prune);
+        // Segmented counting folds the per-producer thresholds into
+        // the count predicate — same counts as prune-then-count,
+        // without copying the tensor.
+        std::vector<zfnaf::DepthThreshold> segments;
+        for (const nn::TraceSegment &seg :
+             nn::inputSegments(net, convNodeId)) {
+            const std::int32_t threshold = seg.producerConvIndex >= 0
+                ? prune->forConvIndex(
+                      static_cast<std::size_t>(seg.producerConvIndex))
+                : 0;
+            segments.push_back({seg.depth, threshold});
+        }
         slot->value = std::make_shared<const CountMap>(
-            zfnaf::nonZeroCountMap(pruned, brickSize));
+            zfnaf::nonZeroCountMap(*unpruned, brickSize, segments));
     } else {
         slot->value = std::make_shared<const CountMap>(
             zfnaf::nonZeroCountMap(*unpruned, brickSize));

@@ -1,15 +1,41 @@
 #include "zfnaf/format.h"
 
+#include <algorithm>
+#include <bit>
+
+#include "core/simd.h"
 #include "sim/logging.h"
 
 namespace cnv::zfnaf {
 
 namespace {
 
+namespace simd = core::simd;
+
+/** Upper bound on brickSize, so brick scratch can live on the stack. */
+constexpr int kMaxBrickSize = 256;
+
 int
 ceilDiv(int a, int b)
 {
     return (a + b - 1) / b;
+}
+
+/**
+ * Number of values in p[0..len) passing the keep predicate
+ * "non-zero and |raw| >= threshold" (threshold pre-clamped to the
+ * unsigned-16 domain; zero-filled tail lanes never count).
+ */
+int
+countKept(const tensor::Fixed16 *p, int len, std::uint16_t t)
+{
+    int nz = 0;
+    int c = 0;
+    for (; c + simd::kLanes <= len; c += simd::kLanes)
+        nz += simd::geCount(simd::loadFull(p + c), t);
+    if (c < len)
+        nz += simd::geCount(simd::loadPartial(p + c, len - c), t);
+    return nz;
 }
 
 } // namespace
@@ -160,6 +186,44 @@ encode(const tensor::NeuronTensor &in, int brickSize,
        std::int32_t pruneThreshold)
 {
     EncodedArray out(in.shape(), brickSize);
+    const std::uint16_t t = simd::clampThreshold(pruneThreshold);
+    EncodedNeuron scratch[kMaxBrickSize];
+
+    for (int y = 0; y < in.shape().y; ++y) {
+        for (int x = 0; x < in.shape().x; ++x) {
+            const tensor::Fixed16 *col = in.column(x, y);
+            for (int b = 0; b < out.bricksPerColumn(); ++b) {
+                const int z0 = b * brickSize;
+                const int len =
+                    std::min(z0 + brickSize, in.shape().z) - z0;
+                int n = 0;
+                for (int c = 0; c < len; c += simd::kLanes) {
+                    const int chunk = std::min(simd::kLanes, len - c);
+                    const simd::VecI16 v = chunk == simd::kLanes
+                        ? simd::loadFull(col + z0 + c)
+                        : simd::loadPartial(col + z0 + c, chunk);
+                    std::uint32_t mask = simd::geMask(v, t);
+                    while (mask != 0) {
+                        const int i = std::countr_zero(mask);
+                        mask &= mask - 1;
+                        scratch[n++] = {
+                            col[z0 + c + i],
+                            static_cast<std::uint8_t>(c + i)};
+                    }
+                }
+                out.setBrick(x, y, b,
+                             {scratch, static_cast<std::size_t>(n)});
+            }
+        }
+    }
+    return out;
+}
+
+EncodedArray
+encodeScalar(const tensor::NeuronTensor &in, int brickSize,
+             std::int32_t pruneThreshold)
+{
+    EncodedArray out(in.shape(), brickSize);
     std::vector<EncodedNeuron> scratch;
     scratch.reserve(brickSize);
 
@@ -208,6 +272,31 @@ nonZeroCountMap(const tensor::NeuronTensor &in, int brickSize,
     if (brickSize < 1 || brickSize > 255)
         CNV_FATAL("brick size {} outside supported range for count map",
                   brickSize);
+    const std::uint16_t t = simd::clampThreshold(pruneThreshold);
+    const int bricks = (in.shape().z + brickSize - 1) / brickSize;
+    tensor::Tensor3<std::uint8_t> counts(in.shape().x, in.shape().y, bricks);
+    for (int y = 0; y < in.shape().y; ++y) {
+        for (int x = 0; x < in.shape().x; ++x) {
+            const tensor::Fixed16 *col = in.column(x, y);
+            for (int b = 0; b < bricks; ++b) {
+                const int z0 = b * brickSize;
+                const int len =
+                    std::min(z0 + brickSize, in.shape().z) - z0;
+                counts.at(x, y, b) = static_cast<std::uint8_t>(
+                    countKept(col + z0, len, t));
+            }
+        }
+    }
+    return counts;
+}
+
+tensor::Tensor3<std::uint8_t>
+nonZeroCountMapScalar(const tensor::NeuronTensor &in, int brickSize,
+                      std::int32_t pruneThreshold)
+{
+    if (brickSize < 1 || brickSize > 255)
+        CNV_FATAL("brick size {} outside supported range for count map",
+                  brickSize);
     const int bricks = (in.shape().z + brickSize - 1) / brickSize;
     tensor::Tensor3<std::uint8_t> counts(in.shape().x, in.shape().y, bricks);
     for (int y = 0; y < in.shape().y; ++y) {
@@ -223,6 +312,54 @@ nonZeroCountMap(const tensor::NeuronTensor &in, int brickSize,
                         ++nz;
                 }
                 counts.at(x, y, b) = nz;
+            }
+        }
+    }
+    return counts;
+}
+
+tensor::Tensor3<std::uint8_t>
+nonZeroCountMap(const tensor::NeuronTensor &in, int brickSize,
+                std::span<const DepthThreshold> segments)
+{
+    if (brickSize < 1 || brickSize > 255)
+        CNV_FATAL("brick size {} outside supported range for count map",
+                  brickSize);
+    // Resolve each depth position's clamped threshold once; bricks
+    // may straddle segment boundaries, so counting walks uniform
+    // threshold runs inside each brick.
+    std::vector<std::uint16_t> tz;
+    tz.reserve(static_cast<std::size_t>(in.shape().z));
+    for (const DepthThreshold &seg : segments) {
+        if (seg.depth < 0)
+            CNV_FATAL("negative segment depth {}", seg.depth);
+        tz.insert(tz.end(), static_cast<std::size_t>(seg.depth),
+                  simd::clampThreshold(seg.threshold));
+    }
+    if (tz.size() != static_cast<std::size_t>(in.shape().z))
+        CNV_FATAL("segment depths {} != array depth {}", tz.size(),
+                  in.shape().z);
+
+    const int bricks = (in.shape().z + brickSize - 1) / brickSize;
+    tensor::Tensor3<std::uint8_t> counts(in.shape().x, in.shape().y, bricks);
+    for (int y = 0; y < in.shape().y; ++y) {
+        for (int x = 0; x < in.shape().x; ++x) {
+            const tensor::Fixed16 *col = in.column(x, y);
+            for (int b = 0; b < bricks; ++b) {
+                const int z0 = b * brickSize;
+                const int zEnd = std::min(z0 + brickSize, in.shape().z);
+                int nz = 0;
+                int z = z0;
+                while (z < zEnd) {
+                    const std::uint16_t t = tz[static_cast<std::size_t>(z)];
+                    int ze = z + 1;
+                    while (ze < zEnd &&
+                           tz[static_cast<std::size_t>(ze)] == t)
+                        ++ze;
+                    nz += countKept(col + z, ze - z, t);
+                    z = ze;
+                }
+                counts.at(x, y, b) = static_cast<std::uint8_t>(nz);
             }
         }
     }

@@ -77,6 +77,9 @@ class EncodedArray
     const tensor::Shape3 &shape() const { return shape_; }
     int brickSize() const { return brickSize_; }
 
+    /** Structural equality (shape, brick size, slots, counts). */
+    bool operator==(const EncodedArray &) const = default;
+
     /** Bits needed for an offset field (4 for 16-neuron bricks). */
     int offsetBits() const;
 
@@ -145,6 +148,15 @@ EncodedArray encode(const tensor::NeuronTensor &in,
                     int brickSize = kPaperBrickSize,
                     std::int32_t pruneThreshold = 0);
 
+/**
+ * Scalar reference encoder, bit-identical to encode() by contract —
+ * the scalar-vs-SIMD equivalence tests and the before/after bench
+ * columns run both.
+ */
+EncodedArray encodeScalar(const tensor::NeuronTensor &in,
+                          int brickSize = kPaperBrickSize,
+                          std::int32_t pruneThreshold = 0);
+
 /** Decode back to a conventional array (pruned neurons become zero). */
 tensor::NeuronTensor decode(const EncodedArray &in);
 
@@ -157,6 +169,36 @@ tensor::Tensor3<std::uint8_t>
 nonZeroCountMap(const tensor::NeuronTensor &in,
                 int brickSize = kPaperBrickSize,
                 std::int32_t pruneThreshold = 0);
+
+/** Scalar reference counter (equivalence tests, bench baseline). */
+tensor::Tensor3<std::uint8_t>
+nonZeroCountMapScalar(const tensor::NeuronTensor &in,
+                      int brickSize = kPaperBrickSize,
+                      std::int32_t pruneThreshold = 0);
+
+/**
+ * One contiguous depth range sharing a prune threshold — the
+ * segmented counting form of nn::TraceSegment plus its resolved
+ * threshold.
+ */
+struct DepthThreshold
+{
+    /** Number of consecutive feature-dimension entries covered. */
+    int depth = 0;
+    /** Raw prune threshold for this range; <= 0 counts non-zeros. */
+    std::int32_t threshold = 0;
+};
+
+/**
+ * Segmented-threshold count map: like nonZeroCountMap but each depth
+ * range carries its own prune threshold (segment depths must sum to
+ * the array depth). Equivalent to zeroing every neuron below its
+ * segment's threshold and counting the survivors — without the
+ * tensor copy the timing::TraceCache prune path used to make.
+ */
+tensor::Tensor3<std::uint8_t>
+nonZeroCountMap(const tensor::NeuronTensor &in, int brickSize,
+                std::span<const DepthThreshold> segments);
 
 } // namespace cnv::zfnaf
 

@@ -1,0 +1,166 @@
+/** @file Tests for the portable SIMD layer (active backend). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/simd.h"
+#include "sim/rng.h"
+
+namespace {
+
+namespace simd = cnv::core::simd;
+
+/** Scalar model of the lane predicate: non-zero and |raw| >= t. */
+bool
+keptScalar(std::int16_t raw, std::int32_t threshold)
+{
+    const std::int32_t wide = raw;
+    const std::int32_t mag = wide < 0 ? -wide : wide;
+    return raw != 0 && mag >= threshold;
+}
+
+std::vector<std::int16_t>
+randomLanes(int n, std::uint64_t seed)
+{
+    cnv::sim::Rng rng(seed);
+    std::vector<std::int16_t> v(static_cast<std::size_t>(n));
+    for (auto &x : v) {
+        if (rng.bernoulli(0.4)) {
+            x = 0;
+        } else {
+            x = static_cast<std::int16_t>(rng.uniformInt(
+                std::int64_t{std::numeric_limits<std::int16_t>::min()},
+                std::int64_t{std::numeric_limits<std::int16_t>::max()}));
+        }
+    }
+    return v;
+}
+
+TEST(Simd, BackendReportsCoherently)
+{
+    EXPECT_GE(simd::kLanes, 1);
+    if (!simd::kEnabled)
+        EXPECT_STREQ(simd::instructionSet(), "scalar");
+    else
+        EXPECT_STRNE(simd::instructionSet(), "scalar");
+}
+
+TEST(Simd, DotAccumMatchesScalarOnRandomLanes)
+{
+    const auto a = randomLanes(simd::kLanes, 0xa);
+    const auto b = randomLanes(simd::kLanes, 0xb);
+    simd::DotAccum acc;
+    acc.mulAcc(simd::loadFull(a.data()), simd::loadFull(b.data()));
+    std::int64_t expect = 0;
+    for (int i = 0; i < simd::kLanes; ++i) {
+        expect += static_cast<std::int64_t>(a[static_cast<std::size_t>(i)]) *
+                  b[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(acc.total(), expect);
+}
+
+TEST(Simd, DotAccumExactAtInt16Extremes)
+{
+    // Every lane -32768 * -32768: the pairwise-wrap trap that rules
+    // out madd-style instructions. The exact sum is kLanes * 2^30.
+    std::vector<std::int16_t> lo(
+        static_cast<std::size_t>(simd::kLanes),
+        std::numeric_limits<std::int16_t>::min());
+    simd::DotAccum acc;
+    acc.mulAcc(simd::loadFull(lo.data()), simd::loadFull(lo.data()));
+    EXPECT_EQ(acc.total(),
+              static_cast<std::int64_t>(simd::kLanes) * (1LL << 30));
+
+    // Accumulation keeps adding exactly.
+    acc.mulAcc(simd::loadFull(lo.data()), simd::loadFull(lo.data()));
+    EXPECT_EQ(acc.total(),
+              2 * static_cast<std::int64_t>(simd::kLanes) * (1LL << 30));
+}
+
+TEST(Simd, PartialLoadZeroFillsTail)
+{
+    const auto a = randomLanes(simd::kLanes, 0xc);
+    for (int n = 0; n <= simd::kLanes; ++n) {
+        const simd::VecI16 v = n == simd::kLanes
+            ? simd::loadFull(a.data())
+            : simd::loadPartial(a.data(), n);
+        // A zero-filled tail contributes no products and no counts.
+        simd::DotAccum acc;
+        acc.mulAcc(v, v);
+        std::int64_t expect = 0;
+        int expectCount = 0;
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t x = a[static_cast<std::size_t>(i)];
+            expect += x * x;
+            if (keptScalar(a[static_cast<std::size_t>(i)], 1))
+                ++expectCount;
+        }
+        EXPECT_EQ(acc.total(), expect) << "n=" << n;
+        EXPECT_EQ(simd::geCount(v, 1), expectCount) << "n=" << n;
+    }
+}
+
+TEST(Simd, ClampThresholdMatchesPredicateDomain)
+{
+    EXPECT_EQ(simd::clampThreshold(-5), 1);
+    EXPECT_EQ(simd::clampThreshold(0), 1);
+    EXPECT_EQ(simd::clampThreshold(1), 1);
+    EXPECT_EQ(simd::clampThreshold(1000), 1000);
+    EXPECT_EQ(simd::clampThreshold(0xFFFF), 0xFFFF);
+    EXPECT_EQ(simd::clampThreshold(0x7FFFFFFF), 0xFFFF);
+}
+
+TEST(Simd, GeCountAndMaskMatchScalarPredicate)
+{
+    // Edge lanes: zero, INT16_MIN (|x| = 32768), extremes around
+    // common thresholds.
+    std::vector<std::int16_t> v(static_cast<std::size_t>(simd::kLanes));
+    v[0] = 0;
+    v[1] = std::numeric_limits<std::int16_t>::min();
+    v[2] = std::numeric_limits<std::int16_t>::max();
+    v[3] = -1;
+    for (int i = 4; i < simd::kLanes; ++i) {
+        v[static_cast<std::size_t>(i)] =
+            static_cast<std::int16_t>((i % 2 ? -1 : 1) * (i * 37));
+    }
+    for (std::int32_t threshold :
+         {0, 1, 2, 100, 32767, 32768, 40000}) {
+        const std::uint16_t t = simd::clampThreshold(threshold);
+        const simd::VecI16 vec = simd::loadFull(v.data());
+        int expectCount = 0;
+        std::uint32_t expectMask = 0;
+        for (int i = 0; i < simd::kLanes; ++i) {
+            if (keptScalar(v[static_cast<std::size_t>(i)], threshold)) {
+                ++expectCount;
+                expectMask |= 1u << i;
+            }
+        }
+        EXPECT_EQ(simd::geCount(vec, t), expectCount)
+            << "threshold " << threshold;
+        EXPECT_EQ(simd::geMask(vec, t), expectMask)
+            << "threshold " << threshold;
+    }
+}
+
+TEST(Simd, GeMaskRandomizedAgainstScalar)
+{
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        const auto v = randomLanes(simd::kLanes, seed);
+        const simd::VecI16 vec = simd::loadFull(v.data());
+        for (std::int32_t threshold : {0, 1, 64, 5000, 32768}) {
+            const std::uint16_t t = simd::clampThreshold(threshold);
+            std::uint32_t expectMask = 0;
+            for (int i = 0; i < simd::kLanes; ++i) {
+                if (keptScalar(v[static_cast<std::size_t>(i)], threshold))
+                    expectMask |= 1u << i;
+            }
+            EXPECT_EQ(simd::geMask(vec, t), expectMask)
+                << "seed " << seed << " threshold " << threshold;
+        }
+    }
+}
+
+} // namespace

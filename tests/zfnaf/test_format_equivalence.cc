@@ -1,0 +1,163 @@
+/** @file Scalar-vs-SIMD equivalence tests for ZFNAf encode/count. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "tensor/tensor.h"
+#include "zfnaf/format.h"
+
+namespace {
+
+using namespace cnv;
+using tensor::Fixed16;
+using tensor::NeuronTensor;
+using zfnaf::DepthThreshold;
+using zfnaf::EncodedArray;
+
+NeuronTensor
+randomTensor(int x, int y, int z, std::uint64_t seed,
+             double zeroFrac = 0.45)
+{
+    NeuronTensor t(x, y, z);
+    sim::Rng rng(seed);
+    for (Fixed16 &v : t) {
+        if (rng.bernoulli(zeroFrac)) {
+            v = Fixed16{};
+        } else {
+            v = Fixed16::fromRaw(static_cast<std::int16_t>(rng.uniformInt(
+                std::int64_t{std::numeric_limits<std::int16_t>::min()},
+                std::int64_t{
+                    std::numeric_limits<std::int16_t>::max()})));
+        }
+    }
+    return t;
+}
+
+void
+expectCountsEqual(const tensor::Tensor3<std::uint8_t> &a,
+                  const tensor::Tensor3<std::uint8_t> &b,
+                  const char *what)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(int(a.data()[i]), int(b.data()[i]))
+            << what << " diverges at flat index " << i;
+}
+
+TEST(ZfnafEquivalence, EncodeMatchesScalarAcrossBrickSizesAndTails)
+{
+    // Depths with tail bricks shorter than any vector width, brick
+    // sizes on both sides of it, and prune thresholds including the
+    // degenerate and saturating ones.
+    std::uint64_t seed = 41;
+    for (int z : {1, 3, 15, 16, 17, 50, 260}) {
+        for (int brickSize : {1, 3, 8, 16, 64, 256}) {
+            for (std::int32_t threshold : {0, 1, 300, 32768, 70000}) {
+                const NeuronTensor t = randomTensor(4, 3, z, seed++);
+                const EncodedArray vec =
+                    zfnaf::encode(t, brickSize, threshold);
+                const EncodedArray ref =
+                    zfnaf::encodeScalar(t, brickSize, threshold);
+                ASSERT_TRUE(vec == ref)
+                    << "z=" << z << " brick=" << brickSize
+                    << " threshold=" << threshold;
+                vec.checkInvariants();
+            }
+        }
+    }
+}
+
+TEST(ZfnafEquivalence, EncodeHandlesInt16MinValues)
+{
+    NeuronTensor t(2, 2, 20);
+    for (Fixed16 &v : t)
+        v = Fixed16::fromRaw(std::numeric_limits<std::int16_t>::min());
+    for (std::int32_t threshold : {0, 32767, 32768, 32769}) {
+        ASSERT_TRUE(zfnaf::encode(t, 16, threshold) ==
+                    zfnaf::encodeScalar(t, 16, threshold))
+            << "threshold=" << threshold;
+    }
+}
+
+TEST(ZfnafEquivalence, CountMapMatchesScalar)
+{
+    std::uint64_t seed = 83;
+    for (int z : {1, 5, 16, 31, 130}) {
+        for (int brickSize : {1, 7, 16, 255}) {
+            for (std::int32_t threshold : {0, 1, 1000, 40000}) {
+                const NeuronTensor t = randomTensor(5, 4, z, seed++);
+                expectCountsEqual(
+                    zfnaf::nonZeroCountMap(t, brickSize, threshold),
+                    zfnaf::nonZeroCountMapScalar(t, brickSize,
+                                                 threshold),
+                    "nonZeroCountMap");
+            }
+        }
+    }
+}
+
+TEST(ZfnafEquivalence, SegmentedCountMatchesPruneThenCount)
+{
+    // Reference semantics: zero out each segment below its threshold,
+    // then count plain non-zeros — what timing::TraceCache used to
+    // do with a full tensor copy. Segment boundaries deliberately
+    // fall inside bricks.
+    const int z = 43;
+    const NeuronTensor t = randomTensor(6, 5, z, 777);
+    const std::vector<DepthThreshold> segments = {
+        {10, 0}, {13, 250}, {7, 1}, {13, 9000},
+    };
+
+    NeuronTensor pruned = t;
+    int zBase = 0;
+    for (const DepthThreshold &seg : segments) {
+        for (int y = 0; y < pruned.shape().y; ++y)
+            for (int x = 0; x < pruned.shape().x; ++x)
+                for (int d = zBase; d < zBase + seg.depth; ++d) {
+                    Fixed16 &v = pruned.at(x, y, d);
+                    if (seg.threshold > 0 && v.rawAbs() < seg.threshold)
+                        v = Fixed16{};
+                }
+        zBase += seg.depth;
+    }
+
+    for (int brickSize : {1, 4, 16, 40}) {
+        expectCountsEqual(
+            zfnaf::nonZeroCountMap(t, brickSize, segments),
+            zfnaf::nonZeroCountMapScalar(pruned, brickSize, 0),
+            "segmented nonZeroCountMap");
+    }
+}
+
+TEST(ZfnafEquivalence, SegmentedCountValidatesDepthSum)
+{
+    const NeuronTensor t = randomTensor(2, 2, 10, 5);
+    const std::vector<DepthThreshold> bad = {{4, 0}, {4, 10}};
+    EXPECT_THROW(zfnaf::nonZeroCountMap(t, 4, bad), sim::FatalError);
+}
+
+TEST(ZfnafEquivalence, TensorCountsMatchBruteForce)
+{
+    // countNonZero/zeroFraction ride the same predicate kernel.
+    for (int n : {1, 7, 16, 33, 1000}) {
+        const NeuronTensor t = randomTensor(1, n, 1, 60 + n);
+        std::size_t expect = 0;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (!t.data()[i].isZero())
+                ++expect;
+        }
+        EXPECT_EQ(tensor::countNonZero(t), expect) << "n=" << n;
+        EXPECT_DOUBLE_EQ(
+            tensor::zeroFraction(t),
+            static_cast<double>(t.size() - expect) /
+                static_cast<double>(t.size()))
+            << "n=" << n;
+    }
+}
+
+} // namespace

@@ -14,6 +14,9 @@ builds a clean mini-tree and asserts zero findings, exercising:
                         src/driver and src/sim/stats_export.*, the
                         out-of-scope exemption, and suppression via
                         `cnvlint: allow(...)`;
+  * raw-simd            intrinsics headers and raw vector types
+                        outside src/core/simd.h, the simd.h
+                        allowlist, and suppression;
   * cast-ban            a legacy rule, as an engine regression canary.
 
 Usage: check_cnvlint_rules.py [REPO_ROOT]
@@ -100,6 +103,27 @@ def seed_violating_tree(root: Path) -> dict[tuple[str, int], str]:
         "    return *reinterpret_cast<float *>(&bits);",
         "}",
     ]) + "\n")
+    # Allowlisted SIMD owner: raw intrinsics must NOT be flagged.
+    write(root, "src/core/simd.h", "\n".join([
+        "/** @file Portable SIMD fixture. */",
+        "#ifndef CNV_CORE_SIMD_H",
+        "#define CNV_CORE_SIMD_H",
+        "#include <immintrin.h>",
+        "struct VecFixture { __m256i v; };",
+        "#endif // CNV_CORE_SIMD_H",
+    ]) + "\n")
+    # raw-simd violations: include at line 1, x86 type at line 3,
+    # NEON type at line 4; suppressed at line 6.
+    write(root, "src/timing/bad_simd.cc", "\n".join([
+        "#include <immintrin.h>",
+        "int lanes() {",
+        "    __m256i acc;",
+        "    int16x8_t neon;",
+        "    // measured, justified: cnvlint: allow(raw-simd)",
+        "    __m128i ok;",
+        "    return 0;",
+        "}",
+    ]) + "\n")
     write(root, "docs/observability.md", "# Schema fixture\n")
     return {
         ("src/nn/bad_rng.cc", 2): "rng-source",
@@ -108,6 +132,9 @@ def seed_violating_tree(root: Path) -> dict[tuple[str, int], str]:
         ("src/driver/bad_report.cc", 5): "unordered-iteration",
         ("src/sim/stats_export.cc", 4): "unordered-iteration",
         ("src/core/bad_cast.cc", 2): "cast-ban",
+        ("src/timing/bad_simd.cc", 1): "raw-simd",
+        ("src/timing/bad_simd.cc", 3): "raw-simd",
+        ("src/timing/bad_simd.cc", 4): "raw-simd",
     }
 
 
@@ -131,6 +158,15 @@ def seed_clean_tree(root: Path) -> None:
     # a classic for-loop whose init clause holds a ternary is not a
     # range-for, and iterating a sorted wrapper's result imposes an
     # order regardless of what was passed in.
+    # The portable layer itself: intrinsics are its whole purpose.
+    write(root, "src/core/simd.h", "\n".join([
+        "/** @file Portable SIMD fixture. */",
+        "#ifndef CNV_CORE_SIMD_H",
+        "#define CNV_CORE_SIMD_H",
+        "#include <immintrin.h>",
+        "struct VecFixture { __m128i v; };",
+        "#endif // CNV_CORE_SIMD_H",
+    ]) + "\n")
     write(root, "src/driver/good_loops.cc", "\n".join([
         "#include <unordered_map>",
         "#include <vector>",

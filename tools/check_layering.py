@@ -36,12 +36,14 @@ Checks, in order:
 declared-but-unused edges dashed); CI renders and uploads it.
 
 ``--self-test`` (the mode the CTest runs) first checks the real
-tree, then verifies the gate can fail: a seeded forbidden edge
-(tensor -> driver) must be reported as a violation, a seeded cycle
-must be detected, a cyclic matrix must be rejected, and a fixture
-compile db must resolve relative "file" entries against their
-"directory" while still catching an uncovered TU — matching the
-check_perf_regression.py pattern.
+tree, then verifies the gate can fail: seeded forbidden edges
+(tensor -> driver, mem -> timing, nn -> core) must be reported as
+violations, a seeded freestanding violation (core/simd.h including
+tensor/tensor.h in a fixture tree) must strip the exemption, a
+seeded cycle must be detected, a cyclic matrix must be rejected,
+and a fixture compile db must resolve relative "file" entries
+against their "directory" while still catching an uncovered TU —
+matching the check_perf_regression.py pattern.
 
 Usage: check_layering.py [ROOT] [--build-dir DIR] [--dot PATH]
            [--self-test] [--quiet]
@@ -83,9 +85,14 @@ ALLOWED = {
 # Headers any module may include without creating a layering edge.
 # The exemption is earned, not granted: verify_freestanding() checks
 # each one includes nothing from src/ beyond this same set.
+# simd.h/arena.h are the kernel layer's primitives (portable SIMD
+# dispatch and the bump allocator): nn, tensor and zfnaf consume
+# them without acquiring a dependency on the rest of core.
 FREESTANDING = {
     "core/thread_annotations.h",
     "core/sync.h",
+    "core/simd.h",
+    "core/arena.h",
 }
 
 INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -300,6 +307,37 @@ def self_test(edges: dict[tuple[str, str], Edge]) -> list[str]:
     if not any("mem -> timing" in p for p in check_edges(seeded)):
         failures.append("self-test: seeded forbidden edge "
                         "mem -> timing was NOT detected")
+
+    # The kernel layer's tempting shortcut: nn reaching into core
+    # proper (anything beyond the freestanding simd/arena headers)
+    # would invert the nn <- core hierarchy.
+    seeded = dict(edges)
+    bad = Edge("nn", "core")
+    bad.sites.append("src/nn/kernels.cc:1: includes core/dispatcher.h "
+                     "(seeded)")
+    seeded[("nn", "core")] = bad
+    if not any("nn -> core" in p for p in check_edges(seeded)):
+        failures.append("self-test: seeded forbidden edge "
+                        "nn -> core was NOT detected")
+
+    # The freestanding exemption must be earned: a FREESTANDING
+    # header that includes a non-freestanding src/ header loses it,
+    # and verify_freestanding() has to say so.
+    with tempfile.TemporaryDirectory(prefix="layering-selftest-") as tmp:
+        fake_src = Path(tmp) / "src"
+        (fake_src / "core").mkdir(parents=True)
+        (fake_src / "tensor").mkdir()
+        (fake_src / "tensor" / "tensor.h").write_text("// fixture\n")
+        for rel in FREESTANDING:
+            (fake_src / rel).parent.mkdir(parents=True, exist_ok=True)
+            (fake_src / rel).write_text("// fixture\n")
+        (fake_src / "core" / "simd.h").write_text(
+            '#include "tensor/tensor.h"\n')
+        if not any("core/simd.h" in p
+                   for p in verify_freestanding(fake_src)):
+            failures.append("self-test: seeded freestanding violation "
+                            "(core/simd.h -> tensor/tensor.h) was NOT "
+                            "detected")
 
     cyclic = {m: set(d) for m, d in ALLOWED.items()}
     cyclic["sim"] = {"driver"}

@@ -2,7 +2,7 @@
 """cnvlint — Cnvlutin-specific invariants no generic linter can know.
 
 Run as a CTest check (see tests/CMakeLists.txt) from the repository
-root, or pass the root as the first argument. Ten rules over
+root, or pass the root as the first argument. Eleven rules over
 ``src/**``:
 
   magic-16      The brick/lane/unit/filter/bank geometry of the paper
@@ -56,6 +56,12 @@ root, or pass the root as the first argument. Ten rules over
                 ``src/sim/rng.h`` / ``src/sim/rng.cc`` — an unseeded
                 source would silently break run-to-run
                 reproducibility and the determinism smoke test.
+  raw-simd      All vector code goes through the portable layer in
+                ``src/core/simd.h`` (the one file allowed to include
+                intrinsics headers and name ``__m128``/``__m256``/
+                NEON vector types). Scattered intrinsics would
+                bypass the CNV_SIMD=OFF scalar fallback and the
+                backend-equivalence guarantee the reports rely on.
   unordered-iteration
                 Range-for over ``std::unordered_map`` /
                 ``std::unordered_set`` is banned in ``src/driver``
@@ -109,6 +115,11 @@ RAW_THREAD_FILE_ALLOWLIST = {
     "src/sim/parallel.cc",
 }
 
+# The one file allowed raw SIMD: the portable dispatch layer.
+RAW_SIMD_FILE_ALLOWLIST = {
+    "src/core/simd.h",
+}
+
 # The one module allowed to read the host clock: the metrics registry.
 HOST_TIMING_FILE_ALLOWLIST = {
     "src/sim/metrics.h",
@@ -127,6 +138,13 @@ UNORDERED_ITER_SCOPE = ("src/driver/", "src/sim/stats_export.")
 SUPPRESS = re.compile(r"cnvlint:\s*allow\(([a-z0-9-]+)\)")
 ARCH_ENUM = re.compile(r"\b(?:timing|power)::Arch\b")
 RAW_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
+SIMD_INCLUDE = re.compile(
+    r"#\s*include\s*<((?:[a-z0-9]*intrin|arm_neon|arm_acle|arm_sve)\.h)>"
+)
+SIMD_TYPE = re.compile(
+    r"\b(__m(?:64|128|256|512)[di]?"
+    r"|(?:u?int|float|poly)(?:8|16|32|64)x\d+(?:x\d)?_t)\b"
+)
 HOST_TIMING = re.compile(
     r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)\b"
 )
@@ -300,6 +318,25 @@ class Linter:
                 "limit and the determinism guarantee hold",
             )
 
+    def check_raw_simd(self, path: Path, lines: list[str]) -> None:
+        rel = str(path.relative_to(self.root))
+        if rel in RAW_SIMD_FILE_ALLOWLIST:
+            return
+        for idx, raw in enumerate(lines):
+            code = code_of(raw)
+            m = SIMD_INCLUDE.search(code) or SIMD_TYPE.search(code)
+            if not m:
+                continue
+            if self.suppressed(lines, idx, "raw-simd"):
+                continue
+            self.report(
+                path, idx + 1, "raw-simd",
+                f"{m.group(1)} outside src/core/simd.h — raw "
+                "intrinsics bypass the CNV_SIMD dispatch and its "
+                "scalar-fallback equivalence guarantee; extend the "
+                "portable layer instead",
+            )
+
     def check_host_timing(self, path: Path, lines: list[str]) -> None:
         rel = str(path.relative_to(self.root))
         if rel in HOST_TIMING_FILE_ALLOWLIST:
@@ -416,6 +453,7 @@ class Linter:
             self.check_cast_ban(path, lines)
             self.check_arch_dispatch(path, lines)
             self.check_raw_thread(path, lines)
+            self.check_raw_simd(path, lines)
             self.check_host_timing(path, lines)
             self.check_rng_source(path, lines)
             self.check_unordered_iteration(path, lines)
